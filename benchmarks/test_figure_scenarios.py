@@ -1,0 +1,79 @@
+"""Benchmark: the paper's Figures 2-5 as timed end-to-end scenarios.
+
+Each benchmark runs the corresponding blocked-message configuration on the
+real simulator and asserts the exact outcome the paper describes.
+"""
+
+from repro.analysis.deadlock import find_deadlocked
+from repro.figures.scenarios import (
+    build_figure2,
+    build_figure3,
+    build_figure4,
+    build_figure5,
+)
+from repro.network.types import MessageStatus
+
+
+def test_figure2_no_false_detection(once):
+    def run():
+        scenario = build_figure2("ndm", threshold=16)
+        scenario.run(600)
+        return scenario
+
+    scenario = run()  # warm check outside timing for clarity
+    assert scenario.detected_names() == []
+    once(lambda: build_figure2("ndm", threshold=16).run(600))
+
+
+def test_figure2_pdm_false_detections(once):
+    def run():
+        scenario = build_figure2("pdm", threshold=16)
+        scenario.run(600)
+        return set(scenario.detected_names())
+
+    assert once(run) == {"C", "D"}
+
+
+def test_figure3_ndm_detects_only_root_adjacent(once):
+    def run():
+        scenario = build_figure3("ndm", threshold=16)
+        scenario.run(400)
+        return scenario.detected_names()
+
+    assert once(run) == ["B"]
+
+
+def test_figure3_ground_truth(once):
+    def run():
+        scenario = build_figure3("none")
+        scenario.run(40)
+        deadlocked = find_deadlocked(scenario.sim.active_messages)
+        return sorted(scenario.name_of(m.id) for m in deadlocked)
+
+    assert once(run) == ["B", "C", "D", "E"]
+
+
+def test_figure4_recovery_resolves(once):
+    def run():
+        scenario = build_figure4(threshold=16)
+        scenario.run(1500)
+        return (
+            all(
+                m.status is MessageStatus.DELIVERED
+                for m in scenario.messages.values()
+            ),
+            scenario.sim.stats.recoveries,
+        )
+
+    delivered, recoveries = once(run)
+    assert delivered
+    assert recoveries == 1
+
+
+def test_figure5_relabeled_root_detected(once):
+    def run():
+        scenario, _ = build_figure5("ndm", threshold=16)
+        scenario.run(400)
+        return scenario.detected_names()
+
+    assert once(run) == ["B", "C"]

@@ -1,0 +1,106 @@
+"""Benchmark: the paper's cross-table headline claims.
+
+* NDM reduces detected messages vs PDM at equal thresholds (the paper
+  reports ~10x on its testbed; our substrate's measured ratio is recorded
+  in EXPERIMENTS.md together with the microstructure caveat).
+* A single constant threshold (the paper picks 32) keeps NDM's false
+  detection percentage small across message lengths and patterns.
+* Crude timeouts detect far more than both channel-monitoring mechanisms.
+"""
+
+import sys
+
+from conftest import table_result
+
+from repro.experiments.runner import build_cell_config
+from repro.experiments.spec import TABLE_SPECS, base_config, quick_spec
+from repro.network.simulator import Simulator
+
+
+def test_ndm_not_worse_than_pdm_aggregate(once):
+    def aggregate():
+        t1 = table_result(1)
+        t2 = table_result(2)
+        pdm = ndm = 0.0
+        for threshold in t2.cells:
+            for key in t2.cells[threshold]:
+                pdm += t1.cells[threshold][key].percentage
+                ndm += t2.cells[threshold][key].percentage
+        return pdm, ndm
+
+    pdm, ndm = once(aggregate)
+    print(f"\naggregate detected%: PDM={pdm:.3f} NDM={ndm:.3f} "
+          f"ratio={pdm / max(ndm, 1e-9):.2f}", file=sys.stderr)
+    assert ndm <= pdm * 1.25
+
+
+def test_th32_keeps_false_detection_low(once):
+    """NDM at the paper's recommended threshold, one saturated run per
+    pattern: the worst-case detected percentage stays small."""
+
+    def worst_case():
+        worst = 0.0
+        for table_id in (2, 3, 4, 5, 6):
+            spec = quick_spec(TABLE_SPECS[table_id])
+            base = base_config()
+            base.seed = 7
+            from repro.experiments.runner import run_cell, saturation_rate
+
+            rate = saturation_rate(base, spec) * spec.load_fractions[-1]
+            cell = run_cell(base, spec, 32, "s", rate)
+            worst = max(worst, cell.percentage)
+        return worst
+
+    worst = once(worst_case)
+    print(f"\nworst-case NDM Th32 detected% at saturation: {worst:.3f}",
+          file=sys.stderr)
+    # The paper's bound on its testbed is 0.16%; our noisier small-network
+    # substrate stays within a few percent (see EXPERIMENTS.md).
+    assert worst <= 6.0
+
+
+def test_crude_timeout_detects_most(once):
+    """Header-blocked timeout >= PDM >= NDM on the same saturated load."""
+
+    def run_mechanisms():
+        spec = quick_spec(TABLE_SPECS[2])
+        base = base_config()
+        base.seed = 7
+        from repro.experiments.runner import saturation_rate
+
+        rate = saturation_rate(base, spec)
+        out = {}
+        for mechanism in ("timeout", "pdm", "ndm"):
+            config = build_cell_config(base, spec, 16, "l", rate)
+            config.detector.mechanism = mechanism
+            stats = Simulator(config).run()
+            out[mechanism] = stats.detection_percentage()
+        return out
+
+    result = once(run_mechanisms)
+    print(f"\nsaturated l-traffic detected% at Th16: {result}", file=sys.stderr)
+    assert result["timeout"] >= result["pdm"] * 0.9
+    assert result["timeout"] >= result["ndm"] * 0.9
+    assert result["timeout"] > 1.0  # crude timeouts mark heavily
+
+
+def test_ndm_threshold_stability_across_lengths(once):
+    """Paper Sec. 4.2: unlike PDM, the NDM threshold does not need to be
+    re-tuned per message length — at Th 32 below saturation the detection
+    percentage is small for every size."""
+
+    def per_size():
+        spec = quick_spec(TABLE_SPECS[2])
+        base = base_config()
+        base.seed = 7
+        from repro.experiments.runner import run_cell, saturation_rate
+
+        rate = saturation_rate(base, spec) * spec.load_fractions[0]
+        return {
+            size: run_cell(base, spec, 32, size, rate).percentage
+            for size in ("s", "l", "sl")
+        }
+
+    result = once(per_size)
+    print(f"\nNDM Th32 below saturation by size: {result}", file=sys.stderr)
+    assert max(result.values()) <= 2.0

@@ -1,0 +1,64 @@
+"""Benchmark: raw simulator performance (cycles/second).
+
+These are conventional timing benchmarks (multiple rounds) rather than
+table regenerations: they track the cost of the simulation kernel and the
+overhead each detection mechanism adds to it.
+"""
+
+import pytest
+
+from repro.network.config import SimulationConfig
+from repro.network.simulator import Simulator
+
+
+def make_sim(mechanism="ndm", radix=8, dimensions=2, rate=0.5):
+    config = SimulationConfig(
+        radix=radix,
+        dimensions=dimensions,
+        warmup_cycles=0,
+        measure_cycles=10,
+        seed=3,
+        ground_truth_interval=0,
+    )
+    config.traffic.injection_rate = rate
+    config.detector.mechanism = mechanism
+    sim = Simulator(config)
+    for _ in range(300):  # reach steady state before timing
+        sim.step()
+    return sim
+
+
+def step_n(sim, n=100):
+    for _ in range(n):
+        sim.step()
+
+
+@pytest.mark.parametrize("mechanism", ["none", "ndm", "pdm", "timeout"])
+def test_steady_state_cycles(benchmark, mechanism):
+    """Cost of 100 steady-state cycles on the 64-node torus at load 0.5."""
+    sim = make_sim(mechanism=mechanism)
+    benchmark(step_n, sim, 100)
+
+
+def test_build_network_64(benchmark):
+    config = SimulationConfig(radix=8, dimensions=2)
+    benchmark(lambda: Simulator(config))
+
+
+def test_build_network_512(benchmark):
+    config = SimulationConfig(radix=8, dimensions=3)
+    benchmark(lambda: Simulator(config))
+
+
+def test_ground_truth_sweep_cost(benchmark):
+    """Cost of one ground-truth deadlock sweep at saturation."""
+    from repro.analysis.deadlock import find_deadlocked
+
+    sim = make_sim(rate=0.7)
+    benchmark(find_deadlocked, sim.active_messages)
+
+
+def test_low_load_cycles(benchmark):
+    """Idle-ish network: the per-cycle cost should scale with activity."""
+    sim = make_sim(rate=0.05)
+    benchmark(step_n, sim, 100)

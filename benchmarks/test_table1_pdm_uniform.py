@@ -1,0 +1,38 @@
+"""Benchmark: regenerate paper Table 1 (PDM, uniform traffic).
+
+The previous detection mechanism's detected-message percentages across
+thresholds, loads and message sizes.  Key published shapes verified here:
+detection decays with threshold, grows toward saturation, and the PDM
+needs larger thresholds for longer messages.
+"""
+
+from conftest import (
+    assert_detection_decays_with_threshold,
+    assert_percentages_sane,
+    assert_saturation_detects_most,
+    table_result,
+)
+
+
+def test_table1_pdm_uniform(once):
+    result = once(lambda: table_result(1))
+    assert_percentages_sane(result)
+    assert_detection_decays_with_threshold(result, slack=3.0)
+    assert_saturation_detects_most(result)
+
+
+def test_table1_pdm_length_sensitivity(once):
+    """Paper Sec. 4.2: the PDM threshold requirement grows with message
+    length — at a mid threshold, long messages are detected (relatively)
+    more often than short ones below saturation."""
+
+    def shape():
+        result = table_result(1)
+        mid = sorted(result.cells)[1]
+        low_load = 0
+        short = result.cell(mid, low_load, "s").percentage
+        longer = result.cell(mid, low_load, "l").percentage
+        return short, longer
+
+    short, longer = once(shape)
+    assert longer >= short - 0.2

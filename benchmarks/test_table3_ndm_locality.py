@@ -1,0 +1,27 @@
+"""Benchmark: regenerate paper Table 3 (NDM, uniform traffic with locality).
+
+Locality traffic sustains ~3x the uniform injection rate; detection
+percentages stay tiny even at saturation (the paper's smallest numbers).
+"""
+
+from conftest import (
+    assert_detection_decays_with_threshold,
+    assert_percentages_sane,
+    table_result,
+)
+
+
+def test_table3_ndm_locality(once):
+    result = once(lambda: table_result(3))
+    assert_percentages_sane(result)
+    assert_detection_decays_with_threshold(result, slack=2.0)
+
+
+def test_table3_rates_triple_uniform(once):
+    """The locality grid runs at ~3x the uniform grid's absolute rates."""
+
+    def rates():
+        return table_result(3).rates, table_result(2).rates
+
+    locality_rates, uniform_rates = once(rates)
+    assert locality_rates[-1] > 2.0 * uniform_rates[-1]

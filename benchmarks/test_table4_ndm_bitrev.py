@@ -1,0 +1,30 @@
+"""Benchmark: regenerate paper Table 4 (NDM, bit-reversal traffic)."""
+
+from conftest import (
+    assert_detection_decays_with_threshold,
+    assert_percentages_sane,
+    assert_saturation_detects_most,
+    table_result,
+)
+
+
+def test_table4_ndm_bit_reversal(once):
+    result = once(lambda: table_result(4))
+    assert_percentages_sane(result)
+    assert_detection_decays_with_threshold(result, slack=2.0)
+    assert_saturation_detects_most(result)
+
+
+def test_table4_high_threshold_clean(once):
+    """Paper Table 4 reaches all-zero rows by Th 256; our largest quick
+    threshold must be (near) clean below saturation."""
+
+    def worst():
+        result = table_result(4)
+        top = max(result.cells)
+        return max(
+            result.cell(top, 0, size).percentage
+            for size in result.spec.sizes
+        )
+
+    assert once(worst) <= 0.5

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate paper Table 5 (NDM, perfect-shuffle traffic)."""
+
+from conftest import (
+    assert_detection_decays_with_threshold,
+    assert_percentages_sane,
+    assert_saturation_detects_most,
+    table_result,
+)
+
+
+def test_table5_ndm_perfect_shuffle(once):
+    result = once(lambda: table_result(5))
+    assert_percentages_sane(result)
+    assert_detection_decays_with_threshold(result, slack=2.0)
+    assert_saturation_detects_most(result)

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate paper Table 6 (NDM, butterfly traffic)."""
+
+from conftest import (
+    assert_detection_decays_with_threshold,
+    assert_percentages_sane,
+    assert_saturation_detects_most,
+    table_result,
+)
+
+
+def test_table6_ndm_butterfly(once):
+    result = once(lambda: table_result(6))
+    assert_percentages_sane(result)
+    assert_detection_decays_with_threshold(result, slack=2.0)
+    assert_saturation_detects_most(result)
+
+
+def test_table6_fixed_points_silent(once):
+    """Butterfly has 50% fixed points; the offered (and therefore
+    accepted) load is half the nominal rate."""
+
+    def throughputs():
+        result = table_result(6)
+        lowest = min(result.cells)
+        cell = result.cell(lowest, 0, "s")
+        return cell.throughput, cell.injection_rate
+
+    thr, rate = once(throughputs)
+    assert thr <= 0.75 * rate

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate paper Table 7 (NDM, hot-spot traffic).
+
+The paper's hardest pattern: detection percentages decay more slowly with
+the threshold because the hot-spot region is genuinely saturated.
+"""
+
+from conftest import (
+    assert_detection_decays_with_threshold,
+    assert_percentages_sane,
+    table_result,
+)
+
+
+def test_table7_ndm_hotspot(once):
+    result = once(lambda: table_result(7))
+    assert_percentages_sane(result)
+    assert_detection_decays_with_threshold(result, slack=2.0)
+
+
+def test_table7_saturation_rate_far_below_uniform(once):
+    """The hot node bounds the saturation rate well below uniform's."""
+
+    def rates():
+        return table_result(7).rates, table_result(2).rates
+
+    hotspot_rates, uniform_rates = once(rates)
+    assert hotspot_rates[-1] < 0.5 * uniform_rates[-1]

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Compare every deadlock detection mechanism on the same workload.
+
+Reproduces the paper's central comparison (NDM vs. PDM vs. crude timeouts)
+on one saturated uniform workload: same network, same traffic, same seed —
+only the detection mechanism changes.  Reports the percentage of messages
+each mechanism marks as possibly deadlocked, split into true and false
+detections by the ground-truth deadlock analyzer.
+
+Run:  python examples/compare_detectors.py [--rate 0.74] [--size sl]
+"""
+
+import argparse
+
+from repro import SimulationConfig, Simulator
+
+
+MECHANISMS = ("ndm", "pdm", "timeout", "source-age", "injection-stall")
+
+
+def run_one(mechanism: str, rate: float, size: str, threshold: int, seed: int):
+    config = SimulationConfig(radix=8, dimensions=2)
+    config.traffic.pattern = "uniform"
+    config.traffic.lengths = size
+    config.traffic.injection_rate = rate
+    config.detector.mechanism = mechanism
+    config.detector.threshold = threshold
+    config.warmup_cycles = 1000
+    config.measure_cycles = 6000
+    config.seed = seed
+    return Simulator(config).run()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rate", type=float, default=0.74,
+                        help="offered load in flits/cycle/node")
+    parser.add_argument("--size", default="sl",
+                        help="message size workload: s, l, L or sl")
+    parser.add_argument("--threshold", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    print(
+        f"uniform traffic @ {args.rate} flits/cycle/node, size={args.size}, "
+        f"threshold={args.threshold}\n"
+    )
+    print(f"{'mechanism':16} {'detected%':>10} {'true':>6} {'false':>6} "
+          f"{'recovered':>10} {'throughput':>11} {'avg lat':>8}")
+    for mechanism in MECHANISMS:
+        stats = run_one(
+            mechanism, args.rate, args.size, args.threshold, args.seed
+        )
+        lat = stats.average_latency()
+        print(
+            f"{mechanism:16} {stats.detection_percentage():>9.3f}% "
+            f"{stats.true_detections:>6} {stats.false_detections:>6} "
+            f"{stats.recoveries:>10} {stats.throughput():>11.3f} "
+            f"{lat if lat is not None else float('nan'):>8.0f}"
+        )
+    print(
+        "\nLower detected% at equal threshold means fewer false deadlocks "
+        "and less recovery overhead (the paper's headline claim for NDM)."
+    )
+
+
+if __name__ == "__main__":
+    main()

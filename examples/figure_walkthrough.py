@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Narrated walkthrough of the paper's Figures 2-5.
+
+Rebuilds each blocked-message configuration from the paper on a real
+simulated torus (one virtual channel per physical channel, as drawn) and
+shows what each detection mechanism does:
+
+* Figure 2 — a tree of blocked messages behind an advancing root:
+  no deadlock.  The PDM falsely detects C and D; the NDM detects nothing.
+* Figure 3 — message E closes a true deadlock {B, C, D, E}; the NDM
+  marks only B (the message that saw the root advance).
+* Figure 4 — progressive recovery of B removes the deadlock.
+* Figure 5 — newcomer F re-closes the cycle; the first flit of F
+  re-labels the root, so C detects the new deadlock.
+
+Run:  python examples/figure_walkthrough.py
+"""
+
+from repro.analysis.deadlock import find_deadlocked
+from repro.figures.scenarios import (
+    build_figure2,
+    build_figure3,
+    build_figure4,
+    build_figure5,
+)
+from repro.network.types import MessageStatus
+
+
+def banner(text: str) -> None:
+    print()
+    print("=" * 72)
+    print(text)
+    print("=" * 72)
+
+
+def figure2() -> None:
+    banner("Figure 2: B, C, D blocked behind advancing A (no deadlock)")
+    for mechanism in ("ndm", "pdm"):
+        scenario = build_figure2(mechanism, threshold=16)
+        scenario.run(600)
+        statuses = {n: m.status.value for n, m in scenario.messages.items()}
+        print(f"{mechanism.upper():4}: detections={scenario.detected_names() or 'none'}"
+              f"  final statuses={statuses}")
+    print("-> The PDM falsely marks C and D; the NDM correctly stays quiet "
+          "and every message is delivered.")
+
+
+def figure3() -> None:
+    banner("Figure 3: E takes A's channel and closes a true deadlock")
+    scenario = build_figure3("ndm", threshold=16)
+    scenario.run(60)
+    deadlocked = sorted(
+        scenario.name_of(m.id) for m in find_deadlocked(scenario.sim.active_messages)
+    )
+    print(f"ground truth after E blocks: deadlocked set = {deadlocked}")
+    scenario.run(300)
+    print(f"NDM detections: {scenario.detected_names()}")
+    print("-> Only B is marked: it is the message that observed the root "
+          "(A, later replaced by E) advance.")
+
+    scenario = build_figure3("pdm", threshold=16)
+    scenario.run(360)
+    print(f"PDM detections: {sorted(set(scenario.detected_names()))}")
+    print("-> The PDM marks every member, quadrupling recovery overhead.")
+
+
+def figure4() -> None:
+    banner("Figure 4: recovering B removes the deadlock")
+    scenario = build_figure4(threshold=16)
+    done = scenario.run_until(
+        lambda s: all(
+            m.status is MessageStatus.DELIVERED for m in s.messages.values()
+        ),
+        limit=3000,
+    )
+    print(f"detections: {scenario.detected_names()}   all delivered: {done}")
+    print(f"recoveries performed: {scenario.sim.stats.recoveries}")
+
+
+def figure5() -> None:
+    banner("Figure 5: F re-closes the cycle; C detects the new deadlock")
+    scenario, removed_b = build_figure5("ndm", threshold=16)
+    scenario.run(400)
+    print(f"detections so far (B from Figure 3, then ...): "
+          f"{scenario.detected_names()}")
+    deadlocked = sorted(
+        scenario.name_of(m.id) for m in find_deadlocked(scenario.sim.active_messages)
+    )
+    print(f"ground truth: new deadlocked set = {deadlocked}")
+    print("-> F's first flit across the channel B freed promoted C's G/P "
+          "flag to G, so C (and only C) detects the re-formed deadlock.")
+
+
+def main() -> None:
+    figure2()
+    figure3()
+    figure4()
+    figure5()
+    print()
+
+
+if __name__ == "__main__":
+    main()

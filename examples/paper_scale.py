@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Paper-scale run: the 512-node 8-ary 3-cube of the paper's Section 4.1.
+
+Runs one saturated uniform workload on the full-size network with the NDM
+(t2 = 32) and prints the run summary plus the channel-utilization picture.
+Expect a few minutes of wall-clock time — the quick 64-node grid used by
+the benchmarks exists precisely so you do not have to run this for every
+experiment.
+
+Run:  python examples/paper_scale.py [--rate 0.775] [--cycles 5000]
+"""
+
+import argparse
+import time
+
+from repro import SimulationConfig, Simulator
+from repro.analysis.channels import hottest_nodes, inactivity_histogram
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rate", type=float, default=0.775,
+                        help="offered load (saturation is ~0.775)")
+    parser.add_argument("--cycles", type=int, default=5000)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    config = SimulationConfig(radix=8, dimensions=3)  # 512 nodes
+    config.traffic.pattern = "uniform"
+    config.traffic.lengths = "sl"
+    config.traffic.injection_rate = args.rate
+    config.detector.mechanism = "ndm"
+    config.detector.threshold = 32
+    config.warmup_cycles = max(args.cycles // 5, 500)
+    config.measure_cycles = args.cycles
+    config.seed = args.seed
+
+    print(f"simulating 512-node 8-ary 3-cube @ {args.rate} flits/cycle/node "
+          f"for {config.warmup_cycles}+{args.cycles} cycles ...")
+    sim = Simulator(config)
+    start = time.time()
+    stats = sim.run()
+    elapsed = time.time() - start
+
+    print()
+    print(stats.summary())
+    print()
+    print(f"wall clock            : {elapsed:.1f}s "
+          f"({stats.cycles_run / elapsed:.0f} cycles/s)")
+    print(f"hottest nodes (VC occupancy): "
+          f"{[(n, round(o, 2)) for n, o in hottest_nodes(sim, 5)]}")
+    histogram = inactivity_histogram(sim, bucket=16, cap=128)
+    print(f"channel inactivity histogram (16-cycle buckets): "
+          f"{dict(sorted(histogram.items()))}")
+
+
+if __name__ == "__main__":
+    main()

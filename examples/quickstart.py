@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a wormhole torus with the paper's NDM detector.
+
+Builds the paper's network model (true fully adaptive routing, 3 virtual
+channels per physical channel, 4-flit buffers) on a 64-node 8-ary 2-cube,
+drives it with uniform traffic near saturation, and prints the run summary
+including how many messages the new deadlock detection mechanism marked.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SimulationConfig, Simulator
+
+
+def main() -> None:
+    config = SimulationConfig(radix=8, dimensions=2)
+
+    # Workload: uniform destinations, 16-flit messages, ~90% of saturation.
+    config.traffic.pattern = "uniform"
+    config.traffic.lengths = "s"
+    config.traffic.injection_rate = 0.65
+
+    # Deadlock handling: the paper's new detection mechanism (NDM) with
+    # t2 = 32 cycles (the threshold the paper recommends), plus the
+    # software-based progressive recovery it is designed for.
+    config.detector.mechanism = "ndm"
+    config.detector.threshold = 32
+    config.recovery = "progressive"
+
+    config.warmup_cycles = 1000
+    config.measure_cycles = 5000
+    config.seed = 42
+
+    sim = Simulator(config)
+    stats = sim.run()
+
+    print("=== quickstart: 8-ary 2-cube, uniform traffic, NDM(t2=32) ===")
+    print(stats.summary())
+    print()
+    print(
+        f"The NDM marked {stats.detection_percentage():.3f}% of messages as "
+        "possibly deadlocked; compare with the paper's Table 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

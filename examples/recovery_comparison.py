@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Progressive vs. regressive deadlock recovery under the NDM.
+
+The paper motivates *progressive* recovery (absorb the deadlocked packet
+and deliver it through dedicated resources, Martinez et al. [13]) over
+*regressive* abort-and-retry: killing a worm wastes all the progress its
+flits made.  This example runs the same saturated workload under each
+recovery scheme and compares delivered throughput, latency and the number
+of recovery actions.
+
+Run:  python examples/recovery_comparison.py
+"""
+
+import argparse
+
+from repro import SimulationConfig, Simulator
+
+SCHEMES = ("progressive", "progressive-reinject", "regressive")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rate", type=float, default=0.74)
+    parser.add_argument("--threshold", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+
+    print(f"uniform sl traffic @ {args.rate} flits/cycle/node, "
+          f"NDM(t2={args.threshold})\n")
+    print(f"{'recovery':22} {'throughput':>11} {'avg lat':>8} {'max lat':>8} "
+          f"{'recov':>6} {'aborts':>7} {'detected%':>10}")
+    for scheme in SCHEMES:
+        config = SimulationConfig(radix=8, dimensions=2)
+        config.traffic.pattern = "uniform"
+        config.traffic.lengths = "sl"
+        config.traffic.injection_rate = args.rate
+        config.detector.mechanism = "ndm"
+        config.detector.threshold = args.threshold
+        config.recovery = scheme
+        config.warmup_cycles = 1000
+        config.measure_cycles = 6000
+        config.seed = args.seed
+        stats = Simulator(config).run()
+        lat = stats.average_latency()
+        print(
+            f"{scheme:22} {stats.throughput():>11.3f} "
+            f"{lat if lat is not None else float('nan'):>8.0f} "
+            f"{stats.max_latency:>8} {stats.recoveries:>6} "
+            f"{stats.aborts:>7} {stats.detection_percentage():>9.3f}%"
+        )
+    print(
+        "\nRegressive recovery re-transmits the whole message from the "
+        "source, inflating tail latency; progressive recovery preserves "
+        "the worm's progress (the paper's recommended pairing with NDM)."
+    )
+
+
+if __name__ == "__main__":
+    main()

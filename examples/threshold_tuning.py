@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Tune the NDM detection threshold t2 (paper Section 4.2).
+
+Sweeps t2 across loads and message sizes and prints the detected-message
+percentage grid, illustrating the paper's conclusion: a single constant,
+low threshold (the paper picks 32 cycles) keeps false detections low
+regardless of message length, unlike the PDM whose useful threshold grows
+with message length.
+
+Run:  python examples/threshold_tuning.py [--mechanism ndm]
+"""
+
+import argparse
+
+from repro import SimulationConfig, Simulator
+from repro.experiments.spec import CALIBRATED_SATURATION_QUICK
+
+THRESHOLDS = (2, 8, 32, 128)
+SIZES = ("s", "l", "sl")
+LOAD_FRACTIONS = (0.785, 1.0)
+
+
+def run_cell(mechanism: str, threshold: int, size: str, rate: float, seed: int) -> float:
+    config = SimulationConfig(radix=8, dimensions=2)
+    config.traffic.pattern = "uniform"
+    config.traffic.lengths = size
+    config.traffic.injection_rate = rate
+    config.detector.mechanism = mechanism
+    config.detector.threshold = threshold
+    config.warmup_cycles = 800
+    config.measure_cycles = 4000
+    config.seed = seed
+    return Simulator(config).run().detection_percentage()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--mechanism", default="ndm",
+                        choices=("ndm", "pdm", "timeout"))
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    saturation = CALIBRATED_SATURATION_QUICK["uniform"]
+    print(f"mechanism={args.mechanism}; uniform traffic; "
+          f"saturation ~ {saturation} flits/cycle/node\n")
+    header = ["threshold"]
+    for fraction in LOAD_FRACTIONS:
+        for size in SIZES:
+            header.append(f"{size}@{fraction:.0%}")
+    print(" ".join(f"{h:>9}" for h in header))
+    for threshold in THRESHOLDS:
+        row = [f"Th {threshold}"]
+        for fraction in LOAD_FRACTIONS:
+            rate = round(fraction * saturation, 4)
+            for size in SIZES:
+                pct = run_cell(args.mechanism, threshold, size, rate, args.seed)
+                row.append(f"{pct:.3f}")
+        print(" ".join(f"{c:>9}" for c in row))
+    print(
+        "\nPick the smallest threshold whose false-detection percentage is "
+        "acceptable across ALL sizes: detection latency grows with t2, so "
+        "over-provisioning the threshold delays true deadlock recovery."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Reproduction of López, Martínez & Duato (HPCA 1998):
+"A Very Efficient Distributed Deadlock Detection Mechanism for Wormhole
+Networks".
+
+Public API quick tour::
+
+    from repro import SimulationConfig, Simulator
+
+    config = SimulationConfig(radix=8, dimensions=2)          # 64-node torus
+    config.traffic.injection_rate = 0.3                       # flits/cycle/node
+    config.detector.mechanism = "ndm"                         # the paper's NDM
+    config.detector.threshold = 32                            # t2 in cycles
+    stats = Simulator(config).run()
+    print(stats.summary())
+
+Sub-packages:
+
+* ``repro.core`` — deadlock detection mechanisms (NDM, PDM, timeouts) and
+  recovery schemes;
+* ``repro.network`` — the flit-level wormhole simulator substrate;
+* ``repro.traffic`` — destination patterns and message-length workloads;
+* ``repro.analysis`` — ground-truth deadlock analysis and saturation search;
+* ``repro.metrics`` — statistics;
+* ``repro.experiments`` — the harness regenerating the paper's tables;
+* ``repro.figures`` — scripted reconstructions of the paper's figures 2-5.
+"""
+
+from repro.core.detector import DeadlockDetector
+from repro.core.ndm import NewDetectionMechanism
+from repro.core.pdm import PreviousDetectionMechanism
+from repro.core.registry import detector_names, make_detector
+from repro.metrics.stats import SimulationStats
+from repro.network.config import (
+    DetectorConfig,
+    SimulationConfig,
+    TrafficConfig,
+    paper_config,
+    quick_config,
+)
+from repro.network.simulator import Simulator
+from repro.network.topology import KAryNCube, Mesh, Topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DeadlockDetector",
+    "DetectorConfig",
+    "KAryNCube",
+    "Mesh",
+    "NewDetectionMechanism",
+    "PreviousDetectionMechanism",
+    "SimulationConfig",
+    "SimulationStats",
+    "Simulator",
+    "Topology",
+    "TrafficConfig",
+    "detector_names",
+    "make_detector",
+    "paper_config",
+    "quick_config",
+    "__version__",
+]

@@ -1,0 +1,99 @@
+"""Ground-truth deadlock analysis.
+
+The detection mechanisms are *heuristics*; to score them (true vs. false
+detections, the tables' ``(*)`` annotations, and the claim that NDM detects
+every real deadlock) we need an oracle.  With OR-semantics waiting — a
+blocked wormhole header may proceed through *any* of its feasible virtual
+channels — a set of blocked messages is truly deadlocked iff it is
+irreducible under the standard reduction:
+
+    repeatedly remove a blocked message that has (a) a free feasible
+    virtual channel, or (b) a feasible virtual channel held by a message
+    not in the remaining set (that holder is advancing or was already
+    removed, so its tail will eventually release the channel).
+
+What remains after the fixpoint can never advance no matter how the rest of
+the network evolves, which is exactly the resource-deadlock condition used
+by Warnakulasuriya & Pinkston's deadlock characterization work.
+
+Non-blocked messages can always make progress in this model: an allocated
+output means the header only waits for fair channel multiplexing, and
+ejection ports consume flits unconditionally (no protocol deadlock).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.network.message import Message
+
+
+def find_deadlocked(messages: Iterable[Message]) -> Set[Message]:
+    """Return the set of truly deadlocked messages among ``messages``.
+
+    Only messages whose header is blocked at a router (failed at least one
+    routing attempt, no output granted) can participate; everything else is
+    treated as able to advance.
+    """
+    candidates = [m for m in messages if m.is_blocked() and m.spans]
+    if not candidates:
+        return set()
+
+    deadlocked: Set[Message] = set(candidates)
+    changed = True
+    while changed:
+        changed = False
+        for m in list(deadlocked):
+            if _has_escape(m, deadlocked):
+                deadlocked.discard(m)
+                changed = True
+    return deadlocked
+
+
+def _has_escape(message: Message, deadlocked: Set[Message]) -> bool:
+    """Whether some feasible VC is free or held outside ``deadlocked``."""
+    if message.feasible_vcs is not None:
+        # VC-class routing (e.g. Duato escape lanes): only the lanes the
+        # routing function permits can free this header.
+        for vc in message.feasible_vcs:
+            occupant = vc.occupant
+            if occupant is None or occupant not in deadlocked:
+                return True
+        return False
+    for pc in message.feasible_pcs:
+        for vc in pc.vcs:
+            occupant = vc.occupant
+            if occupant is None or occupant not in deadlocked:
+                return True
+    return False
+
+
+def waiting_chain(message: Message, limit: int = 32) -> list:
+    """Follow one holder chain from ``message`` (diagnostic helper).
+
+    Picks, at each step, the first occupied feasible VC's holder.  Useful
+    in tests and examples to show who a blocked message is waiting on.
+    Stops at ``limit`` hops, at a non-blocked message, or when a cycle
+    closes (the repeated message is included once more as the closing
+    element so callers can see the loop).
+    """
+    chain = [message]
+    seen = {message.id}
+    current = message
+    for _ in range(limit):
+        holder = None
+        for pc in current.feasible_pcs:
+            for vc in pc.vcs:
+                if vc.occupant is not None:
+                    holder = vc.occupant
+                    break
+            if holder is not None:
+                break
+        if holder is None:
+            break
+        chain.append(holder)
+        if holder.id in seen or not holder.is_blocked():
+            break
+        seen.add(holder.id)
+        current = holder
+    return chain

@@ -1,0 +1,86 @@
+"""Deadlock detector interface.
+
+A detector is a passive observer wired into the router pipeline through a
+small set of hooks.  All of them correspond to events a real router sees
+locally, so every mechanism implemented on top of this interface is
+*distributed* in the paper's sense: no global state, no extra signalling
+between routers beyond the flow control that wormhole switching already has.
+
+Hook call sites (see ``repro.network.simulator``):
+
+* ``on_blocked_attempt`` — every cycle a blocked header is (re-)routed and
+  finds no free virtual channel on any feasible output.  Returning ``True``
+  marks the message as deadlocked and triggers recovery.
+* ``on_message_routed`` — a header was granted an output virtual channel.
+* ``on_vc_released`` — a virtual channel was freed (tail passed, delivery,
+  or recovery).
+* ``on_message_removed`` — a worm is being torn down by recovery.
+* ``periodic_check`` — once per cycle with the active message list; used by
+  source-side timeout mechanisms that do not piggyback on header routing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List
+
+from repro.network.channel import VirtualChannel
+from repro.network.message import Message
+from repro.network.router import Router
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.network.simulator import Simulator
+
+
+class DeadlockDetector:
+    """Base class: a detector that never detects anything."""
+
+    #: Short name used in configs, stats and reports.
+    name = "abstract"
+
+    #: Whether ``periodic_check`` does anything (lets the simulator skip
+    #: the per-cycle call for header-side mechanisms).
+    needs_periodic_check = False
+
+    def __init__(self, threshold: int):
+        if threshold < 1:
+            raise ValueError(f"detection threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.sim: "Simulator" = None  # type: ignore[assignment]
+
+    def attach(self, sim: "Simulator") -> None:
+        """Wire the detector into a built simulator (called once)."""
+        self.sim = sim
+
+    # ------------------------------------------------------------------
+    # Hooks (default: no-ops)
+    # ------------------------------------------------------------------
+    def on_blocked_attempt(
+        self, message: Message, router: Router, cycle: int, first_attempt: bool
+    ) -> bool:
+        """A routing attempt failed; return True to mark ``message``.
+
+        ``message.input_pc`` is the physical input channel holding the
+        header and ``message.feasible_pcs`` the cached feasible outputs.
+        """
+        return False
+
+    def on_message_routed(self, message: Message, cycle: int) -> None:
+        """``message``'s header was granted an output virtual channel."""
+
+    def on_vc_released(self, vc: VirtualChannel, cycle: int) -> None:
+        """A virtual channel was freed."""
+
+    def on_message_removed(self, message: Message, cycle: int) -> None:
+        """``message`` is being torn down by the recovery mechanism."""
+
+    def periodic_check(
+        self, active_messages: Iterable[Message], cycle: int
+    ) -> List[Message]:
+        """Messages to mark independent of header routing (source-side)."""
+        return []
+
+    def describe(self) -> str:
+        return f"{self.name}(threshold={self.threshold})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

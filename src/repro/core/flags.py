@@ -1,0 +1,68 @@
+"""Read-only views of the detection hardware flags.
+
+The simulator stores only ``last_flit_cycle`` / ``active_since`` per
+physical channel (see ``repro.network.channel``); the paper's I, DT and IF
+flags are *derived* state.  These views materialize them for tests,
+examples and traces, so assertions can be written in the paper's own
+vocabulary::
+
+    view = ChannelFlagView(pc, t1=1, t2=32)
+    assert view.i_flag(cycle) and not view.dt_flag(cycle)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.channel import PhysicalChannel
+from repro.network.types import GPState
+
+
+@dataclass(frozen=True)
+class ChannelFlagView:
+    """NDM flag view of one physical channel (paper Fig. 6).
+
+    Args:
+        pc: the physical channel to inspect.
+        t1: inactivity threshold for the I flag (paper: 1 cycle).
+        t2: inactivity threshold for the DT flag (the tuned t2).
+    """
+
+    pc: PhysicalChannel
+    t1: int = 1
+    t2: int = 32
+
+    def counter(self, cycle: int) -> int:
+        """Value of the paper's inactivity counter at ``cycle``."""
+        return self.pc.inactivity(cycle)
+
+    def i_flag(self, cycle: int) -> bool:
+        """I flag: inactive longer than t1 while occupied."""
+        return self.pc.inactivity(cycle) > self.t1
+
+    def dt_flag(self, cycle: int) -> bool:
+        """DT flag: inactive longer than t2 while occupied."""
+        return self.pc.inactivity(cycle) > self.t2
+
+    def gp_flag(self) -> GPState:
+        """The channel's Generate/Propagate flag (input-channel role)."""
+        return self.pc.gp
+
+
+@dataclass(frozen=True)
+class PDMFlagView:
+    """PDM flag view of one physical channel (paper Fig. 1).
+
+    The previous mechanism has a single inactivity flag (IF) per output
+    channel, equivalent to the NDM's DT flag.
+    """
+
+    pc: PhysicalChannel
+    threshold: int = 32
+
+    def counter(self, cycle: int) -> int:
+        return self.pc.inactivity(cycle)
+
+    def if_flag(self, cycle: int) -> bool:
+        """IF flag: inactive longer than the detection threshold."""
+        return self.pc.inactivity(cycle) > self.threshold

@@ -1,0 +1,22 @@
+"""The do-nothing detector.
+
+Used when routing is deadlock-free (dimension-order baseline) or when an
+experiment wants pure network behaviour with the ground-truth analyzer as
+the only deadlock observer.
+"""
+
+from __future__ import annotations
+
+from repro.core.detector import DeadlockDetector
+
+
+class NoDetection(DeadlockDetector):
+    """Never marks anything; all hooks are inherited no-ops."""
+
+    name = "none"
+
+    def __init__(self, threshold: int = 1):
+        super().__init__(threshold)
+
+    def describe(self) -> str:
+        return "none"

@@ -1,0 +1,230 @@
+"""Command-line interface for the experiment harness.
+
+Usage examples::
+
+    repro-experiments list
+    repro-experiments table 2
+    repro-experiments table 1 --full --out results/full
+    repro-experiments all --out results
+    repro-experiments saturation --pattern uniform
+    repro-experiments compare 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis.saturation import find_saturation
+from repro.experiments.report import render_comparison, render_table
+from repro.experiments.spec import TABLE_SPECS, base_config
+from repro.experiments.tables import (
+    default_out_dir,
+    regenerate_table,
+    save_result,
+)
+from repro.traffic.patterns import pattern_names
+
+
+def _progress_printer(prefix: str):
+    start = time.time()
+
+    def progress(done: int, total: int) -> None:
+        elapsed = time.time() - start
+        sys.stderr.write(
+            f"\r{prefix}: {done}/{total} cells ({elapsed:.0f}s elapsed)"
+        )
+        sys.stderr.flush()
+        if done == total:
+            sys.stderr.write("\n")
+
+    return progress
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for tid, spec in sorted(TABLE_SPECS.items()):
+        print(f"Table {tid}: [{spec.mechanism}] {spec.title}")
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    result = regenerate_table(
+        args.table_id,
+        full=args.full or None,
+        seed=args.seed,
+        progress=_progress_printer(f"table {args.table_id}"),
+    )
+    print(render_table(result))
+    if args.out:
+        path = save_result(result, args.out)
+        print(f"\nwritten to {path}")
+    return 0
+
+
+def cmd_all(args: argparse.Namespace) -> int:
+    for tid in sorted(TABLE_SPECS):
+        result = regenerate_table(
+            tid,
+            full=args.full or None,
+            seed=args.seed,
+            progress=_progress_printer(f"table {tid}"),
+        )
+        print(render_table(result))
+        print()
+        if args.out:
+            save_result(result, args.out)
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    result = regenerate_table(
+        args.table_id,
+        full=args.full or None,
+        seed=args.seed,
+        progress=_progress_printer(f"table {args.table_id}"),
+    )
+    print(render_comparison(result))
+    return 0
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    from repro.experiments.latency import default_rates, sweep_load
+    from repro.experiments.runner import saturation_rate
+    from repro.experiments.tables import table_spec
+
+    spec = table_spec(2, full=args.full or None)  # NDM, uniform
+    config = base_config(args.full or None)
+    config.seed = args.seed
+    config.routing = args.routing
+    if args.routing == "duato-adaptive":
+        config.detector.mechanism = "none"
+        config.recovery = "none"
+    saturation = saturation_rate(config, spec)
+    rates = default_rates(saturation, steps=args.steps)
+    sweep = sweep_load(config, rates)
+    print(f"routing={args.routing} uniform traffic "
+          f"(saturation ~ {saturation:.3f} flits/cycle/node)")
+    for row in sweep.rows():
+        print(row)
+    knee = sweep.knee()
+    if knee is not None:
+        print(f"\nlatency knee at offered ~ {knee.offered:.3f}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.figures.scenarios import (
+        build_figure2,
+        build_figure3,
+        build_figure4,
+        build_figure5,
+        build_simultaneous_blocking,
+    )
+
+    scenario = build_figure2("ndm", threshold=16)
+    scenario.run(600)
+    print(f"figure 2: NDM detections = {scenario.detected_names() or 'none'}")
+    scenario = build_figure2("pdm", threshold=16)
+    scenario.run(600)
+    print(f"figure 2: PDM detections = {sorted(set(scenario.detected_names()))}")
+    scenario = build_figure3("ndm", threshold=16)
+    scenario.run(400)
+    print(f"figure 3: NDM detections = {scenario.detected_names()}")
+    scenario = build_figure4(threshold=16)
+    scenario.run(1500)
+    print(f"figure 4: detections = {scenario.detected_names()}, "
+          f"recoveries = {scenario.sim.stats.recoveries}")
+    scenario, _ = build_figure5("ndm", threshold=16)
+    scenario.run(400)
+    print(f"figure 5: detections = {scenario.detected_names()}")
+    scenario = build_simultaneous_blocking("ndm", threshold=16)
+    scenario.run(400)
+    print(f"simultaneous blocking: detections = "
+          f"{sorted(set(scenario.detected_names()))}")
+    return 0
+
+
+def cmd_saturation(args: argparse.Namespace) -> int:
+    config = base_config(args.full or None)
+    config.warmup_cycles = 500
+    config.measure_cycles = 2000
+    config.traffic.pattern = args.pattern
+    config.traffic.lengths = args.size
+    config.detector.mechanism = "none"
+    config.ground_truth_interval = 0
+    result = find_saturation(config)
+    print(f"pattern={args.pattern} size={args.size}")
+    print(f"saturation rate       : {result.saturation_rate:.4f} flits/cycle/node")
+    print(f"saturation throughput : {result.saturation_throughput:.4f}")
+    for rate, thr in result.samples:
+        print(f"  offered {rate:.4f} -> accepted {thr:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the evaluation tables of Lopez, Martinez & Duato "
+            "(HPCA 1998) on the bundled wormhole network simulator."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="list the paper tables")
+    p.set_defaults(func=cmd_list)
+
+    for name, func, help_text in (
+        ("table", cmd_table, "regenerate one table"),
+        ("compare", cmd_compare, "regenerate one table and compare with the paper"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("table_id", type=int, choices=sorted(TABLE_SPECS))
+        p.add_argument("--full", action="store_true",
+                       help="paper-scale grid (512 nodes, all thresholds)")
+        p.add_argument("--seed", type=int, default=7)
+        if name == "table":
+            p.add_argument("--out", default=None,
+                           help=f"write txt+json under this directory "
+                                f"(e.g. {default_out_dir()})")
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("all", help="regenerate all seven tables")
+    p.add_argument("--full", action="store_true")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--out", default=None)
+    p.set_defaults(func=cmd_all)
+
+    p = sub.add_parser("saturation", help="measure a pattern's saturation rate")
+    p.add_argument("--pattern", choices=pattern_names(), default="uniform")
+    p.add_argument("--size", default="s")
+    p.add_argument("--full", action="store_true")
+    p.set_defaults(func=cmd_saturation)
+
+    p = sub.add_parser(
+        "latency", help="latency/throughput curve over offered load"
+    )
+    p.add_argument("--routing", default="fully-adaptive",
+                   choices=("fully-adaptive", "duato-adaptive",
+                            "dimension-order"))
+    p.add_argument("--steps", type=int, default=6)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--full", action="store_true")
+    p.set_defaults(func=cmd_latency)
+
+    p = sub.add_parser(
+        "figures", help="replay the paper's figure scenarios"
+    )
+    p.set_defaults(func=cmd_figures)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

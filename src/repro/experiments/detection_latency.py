@@ -1,0 +1,118 @@
+"""Detection latency: how long a real deadlock survives before detection.
+
+The paper's argument against crude timeouts is not only false positives:
+with message-length-dependent thresholds, "deadlocked packets have to wait
+for long until deadlock is detected.  In these situations, latency becomes
+much less predictable."  This experiment measures, per mechanism and
+threshold, the delay from deadlock formation to first detection on the
+canonical Figure 3 deadlock, plus whether the deadlock is detected at all
+within a deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.deadlock import find_deadlocked
+
+
+@dataclass(frozen=True)
+class DetectionLatencyPoint:
+    """Outcome of one (mechanism, threshold) run on the canonical deadlock."""
+
+    mechanism: str
+    threshold: int
+    #: Cycle at which the ground-truth oracle first saw the full cycle.
+    formation_cycle: Optional[int]
+    #: Cycle of the first detection event (None = never detected).
+    detection_cycle: Optional[int]
+    #: Messages marked for this single deadlock (recovery overhead).
+    messages_marked: int
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Detection delay relative to deadlock formation.
+
+        Negative values are possible for mechanisms that falsely mark
+        tree members *before* the cycle closes (the PDM on Figure 2's
+        chain); they are reported as measured.
+        """
+        if self.formation_cycle is None or self.detection_cycle is None:
+            return None
+        return self.detection_cycle - self.formation_cycle
+
+    @property
+    def detected(self) -> bool:
+        return self.detection_cycle is not None
+
+
+def measure_detection_latency(
+    mechanism: str,
+    threshold: int,
+    deadline: int = 4000,
+    selective_promotion: bool = False,
+) -> DetectionLatencyPoint:
+    """Run the Figure 3 deadlock under one detector and time the detection."""
+    from repro.figures.scenarios import build_figure3
+
+    scenario = build_figure3(
+        mechanism, threshold, recovery="none",
+        selective_promotion=selective_promotion,
+    )
+    sim = scenario.sim
+
+    formation: Optional[int] = None
+    detection: Optional[int] = None
+    start = sim.cycle
+    while sim.cycle - start < deadline:
+        sim.step()
+        if formation is None and len(find_deadlocked(sim.active_messages)) >= 4:
+            formation = sim.cycle
+        if sim.stats.detection_events and detection is None:
+            detection = sim.stats.detection_events[0].cycle
+        if (
+            formation is not None
+            and detection is not None
+            and sim.cycle - max(detection, formation) > 2 * threshold
+        ):
+            break  # allow trailing detections to accumulate briefly
+    return DetectionLatencyPoint(
+        mechanism=mechanism,
+        threshold=threshold,
+        formation_cycle=formation,
+        detection_cycle=detection,
+        messages_marked=len(
+            {e.message_id for e in sim.stats.detection_events}
+        ),
+    )
+
+
+def latency_sweep(
+    mechanisms: Sequence[str] = ("ndm", "pdm", "timeout"),
+    thresholds: Sequence[int] = (8, 32, 128),
+    deadline: int = 4000,
+) -> List[DetectionLatencyPoint]:
+    """Grid of detection-latency measurements."""
+    return [
+        measure_detection_latency(mechanism, threshold, deadline)
+        for mechanism in mechanisms
+        for threshold in thresholds
+    ]
+
+
+def render_latency_table(points: Sequence[DetectionLatencyPoint]) -> str:
+    """Fixed-width text table of a latency sweep."""
+    lines = [
+        f"{'mechanism':12} {'threshold':>9} {'formed@':>8} {'detected@':>9} "
+        f"{'latency':>8} {'marked':>7}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.mechanism:12} {p.threshold:>9} "
+            f"{p.formation_cycle if p.formation_cycle is not None else '-':>8} "
+            f"{p.detection_cycle if p.detection_cycle is not None else '-':>9} "
+            f"{p.latency if p.latency is not None else '-':>8} "
+            f"{p.messages_marked:>7}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Experiment runner: executes table specs cell by cell.
+
+One *cell* of a paper table is a full simulation: (mechanism, threshold,
+pattern, message size, injection rate).  The runner measures the paper's
+metric — percentage of messages detected as possibly deadlocked — plus the
+supporting data (true/false split, throughput, whether a real deadlock
+occurred, matching the tables' ``(*)`` annotations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.saturation import find_saturation
+from repro.experiments.spec import TableSpec, calibrated_saturation
+from repro.metrics.stats import SimulationStats
+from repro.network.config import SimulationConfig
+from repro.network.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Outcome of one table cell (one simulation)."""
+
+    percentage: float
+    detections: int
+    messages_detected: int
+    true_detections: int
+    false_detections: int
+    injected: int
+    throughput: float
+    injection_rate: float
+    had_true_deadlock: bool
+
+    def label(self) -> str:
+        """Cell text in the paper's style: percentage, star if deadlock."""
+        text = f"{self.percentage:.3f}"
+        if self.had_true_deadlock:
+            text += "*"
+        return text
+
+
+@dataclass
+class TableResult:
+    """All cells of one regenerated table."""
+
+    spec: TableSpec
+    #: Offered rates used per load index (flits/cycle/node).
+    rates: Tuple[float, ...] = ()
+    #: cells[threshold][(load_index, size)] -> CellResult
+    cells: Dict[int, Dict[Tuple[int, str], CellResult]] = field(
+        default_factory=dict
+    )
+
+    def cell(self, threshold: int, load_index: int, size: str) -> CellResult:
+        return self.cells[threshold][(load_index, size)]
+
+
+def build_cell_config(
+    base: SimulationConfig,
+    spec: TableSpec,
+    threshold: int,
+    size: str,
+    rate: float,
+) -> SimulationConfig:
+    """Concrete simulation config for one table cell."""
+    config = base.replace()
+    config.traffic.pattern = spec.pattern
+    config.traffic.pattern_params = dict(spec.pattern_params)
+    config.traffic.lengths = size
+    config.traffic.injection_rate = rate
+    config.detector.mechanism = spec.mechanism
+    config.detector.threshold = threshold
+    return config
+
+
+def run_cell(
+    base: SimulationConfig,
+    spec: TableSpec,
+    threshold: int,
+    size: str,
+    rate: float,
+) -> CellResult:
+    """Run one simulation and condense it into a cell result."""
+    config = build_cell_config(base, spec, threshold, size, rate)
+    stats = Simulator(config).run()
+    return cell_from_stats(stats, rate)
+
+
+def cell_from_stats(stats: SimulationStats, rate: float) -> CellResult:
+    return CellResult(
+        percentage=stats.detection_percentage(),
+        detections=stats.detections_measured,
+        messages_detected=stats.messages_detected_measured,
+        true_detections=stats.true_detections,
+        false_detections=stats.false_detections,
+        injected=stats.injected_measured,
+        throughput=stats.throughput(),
+        injection_rate=rate,
+        had_true_deadlock=stats.had_true_deadlock(),
+    )
+
+
+def saturation_rate(
+    base: SimulationConfig,
+    spec: TableSpec,
+    measured: Optional[Dict[str, float]] = None,
+    measure: bool = False,
+) -> float:
+    """Saturation rate for the spec's pattern on the base configuration.
+
+    Uses the calibrated table by default; set ``measure=True`` to run the
+    saturation search (slower but exact for modified configurations).
+    """
+    if measured and spec.pattern in measured:
+        return measured[spec.pattern]
+    if not measure:
+        calibrated = calibrated_saturation(full=base.dimensions >= 3)
+        if spec.pattern in calibrated:
+            return calibrated[spec.pattern]
+    probe = base.replace()
+    probe.warmup_cycles = min(probe.warmup_cycles, 500)
+    probe.measure_cycles = min(probe.measure_cycles, 2000)
+    probe.traffic.pattern = spec.pattern
+    probe.traffic.pattern_params = dict(spec.pattern_params)
+    probe.traffic.lengths = "s"
+    probe.detector.mechanism = "none"
+    probe.ground_truth_interval = 0
+    return find_saturation(probe).saturation_rate
+
+
+def run_table(
+    spec: TableSpec,
+    base: SimulationConfig,
+    saturation: Optional[float] = None,
+    progress=None,
+) -> TableResult:
+    """Regenerate one full table.
+
+    Args:
+        spec: the table's grid definition.
+        base: base simulation config (topology, windows, seed).
+        saturation: saturation rate override (flits/cycle/node); defaults
+            to the calibrated value for the spec's pattern.
+        progress: optional callable ``progress(done, total)``.
+    """
+    if saturation is None:
+        saturation = saturation_rate(base, spec)
+    rates = tuple(round(f * saturation, 4) for f in spec.load_fractions)
+    result = TableResult(spec=spec, rates=rates)
+    total = len(spec.thresholds) * len(rates) * len(spec.sizes)
+    done = 0
+    for threshold in spec.thresholds:
+        row: Dict[Tuple[int, str], CellResult] = {}
+        for load_index, rate in enumerate(rates):
+            for size in spec.sizes:
+                row[(load_index, size)] = run_cell(
+                    base, spec, threshold, size, rate
+                )
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+        result.cells[threshold] = row
+    return result

@@ -1,0 +1,27 @@
+"""Scripted reconstructions of the paper's figure scenarios."""
+
+from repro.figures.scenarios import (
+    Scenario,
+    build_figure2,
+    build_figure3,
+    build_figure4,
+    build_figure5,
+    build_simultaneous_blocking,
+    channel_between,
+    place_entering,
+    place_worm,
+    scenario_config,
+)
+
+__all__ = [
+    "Scenario",
+    "build_figure2",
+    "build_figure3",
+    "build_figure4",
+    "build_figure5",
+    "build_simultaneous_blocking",
+    "channel_between",
+    "place_entering",
+    "place_worm",
+    "scenario_config",
+]

@@ -1,0 +1,6 @@
+"""Statistics collected by the simulator."""
+
+from repro.metrics.stats import SimulationStats
+from repro.metrics.timeseries import TimeSeriesCollector, WindowSample
+
+__all__ = ["SimulationStats", "TimeSeriesCollector", "WindowSample"]

@@ -1,0 +1,142 @@
+"""Simulation statistics.
+
+Counters come in two flavours: lifetime totals and ``*_measured`` values
+restricted to the measurement window (after warmup, before drain).  The
+paper's headline metric — *percentage of messages detected as possibly
+deadlocked* — is ``detections_measured / injected_measured * 100``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.network.types import DetectionEvent
+
+
+@dataclass
+class SimulationStats:
+    """All counters recorded by one simulation run."""
+
+    # --- run shape -----------------------------------------------------
+    cycles_run: int = 0
+    warmup_cycles: int = 0
+    measure_cycles: int = 0
+    num_nodes: int = 0
+
+    # --- message lifecycle ----------------------------------------------
+    generated: int = 0
+    generated_measured: int = 0
+    injected: int = 0
+    injected_measured: int = 0
+    delivered: int = 0
+    delivered_measured: int = 0
+    flits_delivered: int = 0
+    flits_delivered_measured: int = 0
+    source_queue_drops: int = 0
+
+    # --- deadlock handling ------------------------------------------------
+    #: Detection events (a message can be re-detected after recovery).
+    detections: int = 0
+    detections_measured: int = 0
+    #: Distinct messages detected at least once (the tables' numerator).
+    messages_detected: int = 0
+    messages_detected_measured: int = 0
+    #: Detections confirmed by the ground-truth analyzer as true deadlock.
+    true_detections: int = 0
+    #: Detections the analyzer classified as false deadlock.
+    false_detections: int = 0
+    #: Detections raised while the analyzer was disabled.
+    unclassified_detections: int = 0
+    recoveries: int = 0
+    recoveries_measured: int = 0
+    aborts: int = 0
+    aborts_measured: int = 0
+
+    # --- ground-truth sweeps ------------------------------------------------
+    truth_sweeps: int = 0
+    truth_sweeps_with_deadlock: int = 0
+    max_deadlock_set_size: int = 0
+    #: Distinct messages ever observed inside a true deadlock.
+    truly_deadlocked_messages: int = 0
+
+    # --- latency ----------------------------------------------------------
+    latency_sum: int = 0  # generation -> delivery, measured deliveries only
+    network_latency_sum: int = 0  # injection -> delivery
+    latency_count: int = 0
+    max_latency: int = 0
+
+    # --- event log ----------------------------------------------------------
+    detection_events: List[DetectionEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    def detection_percentage(self) -> float:
+        """The paper's metric: % of injected messages marked as deadlocked.
+
+        Counts distinct messages (first detections), matching "percentage
+        of messages detected as possibly deadlocked" in the table captions.
+        """
+        if self.injected_measured == 0:
+            return 0.0
+        return 100.0 * self.messages_detected_measured / self.injected_measured
+
+    def false_detection_percentage(self) -> float:
+        """% of injected messages marked although not truly deadlocked."""
+        if self.injected_measured == 0:
+            return 0.0
+        false_measured = sum(
+            1
+            for e in self.detection_events
+            if e.truly_deadlocked is False and e.cycle >= self.warmup_cycles
+        )
+        return 100.0 * false_measured / self.injected_measured
+
+    def had_true_deadlock(self) -> bool:
+        """Whether any real deadlock occurred (the tables' ``(*)`` marks)."""
+        return self.true_detections > 0 or self.truth_sweeps_with_deadlock > 0
+
+    def throughput(self) -> float:
+        """Accepted traffic in flits/cycle/node over the measured window."""
+        if self.measure_cycles == 0 or self.num_nodes == 0:
+            return 0.0
+        return self.flits_delivered_measured / (
+            self.measure_cycles * self.num_nodes
+        )
+
+    def average_latency(self) -> Optional[float]:
+        """Mean generation-to-delivery latency of measured deliveries."""
+        if self.latency_count == 0:
+            return None
+        return self.latency_sum / self.latency_count
+
+    def average_network_latency(self) -> Optional[float]:
+        """Mean injection-to-delivery latency of measured deliveries."""
+        if self.latency_count == 0:
+            return None
+        return self.network_latency_sum / self.latency_count
+
+    def summary(self) -> str:
+        """Multi-line human-readable digest (used by examples)."""
+        lat = self.average_latency()
+        lines = [
+            f"cycles run            : {self.cycles_run} "
+            f"(warmup {self.warmup_cycles}, measured {self.measure_cycles})",
+            f"messages injected     : {self.injected_measured} (measured) / "
+            f"{self.injected} (total)",
+            f"messages delivered    : {self.delivered_measured} (measured) / "
+            f"{self.delivered} (total)",
+            f"throughput            : {self.throughput():.4f} flits/cycle/node",
+            f"avg latency           : "
+            + (f"{lat:.1f} cycles" if lat is not None else "n/a"),
+            f"deadlock detections   : {self.messages_detected_measured} msgs / "
+            f"{self.detections_measured} events "
+            f"({self.detection_percentage():.3f}% of injected)",
+            f"  true / false / n.c. : {self.true_detections} / "
+            f"{self.false_detections} / {self.unclassified_detections}",
+            f"recoveries / aborts   : {self.recoveries} / {self.aborts}",
+            f"true-deadlock sweeps  : {self.truth_sweeps_with_deadlock} / "
+            f"{self.truth_sweeps}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Windowed time-series collection.
+
+The headline tables report end-of-run aggregates; transient behaviour
+(saturation onset, recovery storms, post-deadlock throughput dips) needs
+per-window series.  A :class:`TimeSeriesCollector` snapshots deltas of the
+running statistics every ``window`` cycles, producing plain lists that
+examples and tests can assert on without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.network.simulator import Simulator
+
+
+@dataclass
+class WindowSample:
+    """Aggregates of one measurement window."""
+
+    start_cycle: int
+    end_cycle: int
+    injected: int
+    delivered: int
+    flits_delivered: int
+    detections: int
+    recoveries: int
+    blocked_headers: int
+    in_network: int
+
+    @property
+    def cycles(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+    def throughput(self, num_nodes: int) -> float:
+        """Accepted flits/cycle/node inside this window."""
+        if self.cycles == 0 or num_nodes == 0:
+            return 0.0
+        return self.flits_delivered / (self.cycles * num_nodes)
+
+
+@dataclass
+class TimeSeriesCollector:
+    """Samples a simulator every ``window`` cycles.
+
+    Drive it manually::
+
+        collector = TimeSeriesCollector(window=100)
+        while sim.cycle < limit:
+            sim.step()
+            collector.maybe_sample(sim)
+
+    The collector is deliberately pull-based (no simulator hooks), so it
+    can be attached to any running simulation without configuration.
+    """
+
+    window: int = 100
+    samples: List[WindowSample] = field(default_factory=list)
+    _last_cycle: int = 0
+    _last_injected: int = 0
+    _last_delivered: int = 0
+    _last_flits: int = 0
+    _last_detections: int = 0
+    _last_recoveries: int = 0
+
+    def maybe_sample(self, sim: "Simulator") -> bool:
+        """Take a sample if a full window has elapsed; True when sampled."""
+        if sim.cycle - self._last_cycle < self.window:
+            return False
+        self.sample(sim)
+        return True
+
+    def sample(self, sim: "Simulator") -> WindowSample:
+        """Take a sample now, regardless of window alignment."""
+        stats = sim.stats
+        blocked = sum(1 for m in sim.pending_route if m.is_blocked())
+        sample = WindowSample(
+            start_cycle=self._last_cycle,
+            end_cycle=sim.cycle,
+            injected=stats.injected - self._last_injected,
+            delivered=stats.delivered - self._last_delivered,
+            flits_delivered=stats.flits_delivered - self._last_flits,
+            detections=stats.detections - self._last_detections,
+            recoveries=stats.recoveries - self._last_recoveries,
+            blocked_headers=blocked,
+            in_network=sim.message_count_in_network(),
+        )
+        self.samples.append(sample)
+        self._last_cycle = sim.cycle
+        self._last_injected = stats.injected
+        self._last_delivered = stats.delivered
+        self._last_flits = stats.flits_delivered
+        self._last_detections = stats.detections
+        self._last_recoveries = stats.recoveries
+        return sample
+
+    # ------------------------------------------------------------------
+    # Series accessors
+    # ------------------------------------------------------------------
+    def throughput_series(self, num_nodes: int) -> List[float]:
+        return [s.throughput(num_nodes) for s in self.samples]
+
+    def detection_series(self) -> List[int]:
+        return [s.detections for s in self.samples]
+
+    def occupancy_series(self) -> List[int]:
+        return [s.in_network for s in self.samples]
+
+    def peak_blocked(self) -> int:
+        if not self.samples:
+            return 0
+        return max(s.blocked_headers for s in self.samples)
+
+    def steady_state_throughput(self, num_nodes: int, skip: int = 1) -> float:
+        """Mean windowed throughput, skipping the first ``skip`` windows."""
+        series = self.throughput_series(num_nodes)[skip:]
+        if not series:
+            return 0.0
+        return sum(series) / len(series)

@@ -1,0 +1,227 @@
+"""Physical and virtual channels with lazy inactivity monitoring.
+
+The detection mechanisms of the paper are built on one counter per physical
+output channel that counts cycles of *inactivity while occupied* and resets
+whenever a flit crosses the channel (any of its virtual channels).  Keeping a
+literal counter would cost O(channels) work per cycle; instead each channel
+stores the cycle of the last flit transmission and the cycle at which it last
+became occupied, and derives the counter value on demand:
+
+    inactivity(now) = now - max(last_flit_cycle, active_since)   if occupied
+                    = frozen value at last release               otherwise
+
+This is exactly the paper's counter at O(1) per event: it advances only
+while at least one virtual channel is occupied, resets on every flit, and
+— like the hardware, which gates the increment but not the register —
+*freezes* (rather than resets) across unoccupied gaps.  The freeze matters
+for the paper's Figure 5 situation: a channel freed by recovery and
+immediately re-acquired still shows its long inactivity, so the first flit
+of the new occupant clears a set I flag and re-labels the tree root.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.network.types import GPState, NodeId, PortKind
+from repro.network.topology import Direction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.network.message import Message
+
+#: Sentinel meaning "never": far enough in the past that any difference with a
+#: real cycle number exceeds every practical threshold.
+NEVER = -(1 << 60)
+
+
+class VirtualChannel:
+    """One virtual channel (lane) of a physical channel.
+
+    Holds at most one *occupant* worm at a time; ``flits`` counts how many of
+    the occupant's flits currently sit in this channel's input buffer.  Sink
+    channels (ejection ports) consume flits instantly, so their ``flits``
+    stays at zero while they are occupied.
+    """
+
+    __slots__ = ("pc", "index", "capacity", "occupant", "flits")
+
+    def __init__(self, pc: "PhysicalChannel", index: int, capacity: int):
+        self.pc = pc
+        self.index = index
+        self.capacity = capacity
+        self.occupant: Optional["Message"] = None
+        self.flits = 0
+
+    @property
+    def is_free(self) -> bool:
+        return self.occupant is None
+
+    def allocate(self, message: "Message", cycle: int) -> None:
+        """Reserve this virtual channel for ``message``'s worm."""
+        if self.occupant is not None:
+            raise RuntimeError(
+                f"{self} already occupied by message {self.occupant.id}"
+            )
+        self.pc.note_occupied(cycle)
+        self.occupant = message
+
+    def release(self, cycle: int) -> None:
+        """Free the channel after the occupant's tail passed (or recovery)."""
+        if self.occupant is None:
+            raise RuntimeError(f"{self} released while already free")
+        self.occupant = None
+        self.flits = 0
+        self.pc.note_released(cycle)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VC({self.pc.describe()}, lane={self.index})"
+
+
+class PhysicalChannel:
+    """A unidirectional physical channel multiplexed into virtual channels.
+
+    One flit per cycle may cross a physical channel regardless of which
+    virtual channel it belongs to; ``last_flit_cycle`` doubles as the
+    transmit-side bandwidth guard.  ``last_drain_cycle`` is the receive-side
+    guard: at most one flit per cycle leaves this channel's input buffers
+    through the downstream router's crossbar.
+
+    The channel also carries the state the detection hardware of the paper
+    associates with it:
+
+    * the inactivity monitor (see module docstring) read by the I/DT/IF
+      flags of the detectors;
+    * the per-*input*-channel Generate/Propagate flag (``gp``) used by the
+      new detection mechanism (NDM);
+    * an optional ``on_i_reset`` callback fired when a flit transmission
+      clears an I flag that was set (inactivity exceeded ``i_threshold``),
+      which NDM uses to promote P flags back to G (paper, Fig. 5 situation).
+    """
+
+    __slots__ = (
+        "index",
+        "kind",
+        "src_node",
+        "dst_node",
+        "direction",
+        "vcs",
+        "occupied_count",
+        "last_flit_cycle",
+        "active_since",
+        "last_drain_cycle",
+        "gp",
+        "i_threshold",
+        "on_i_reset",
+        "waiters",
+        "_frozen_inactivity",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        kind: PortKind,
+        src_node: Optional[NodeId],
+        dst_node: Optional[NodeId],
+        direction: Optional[Direction],
+        num_vcs: int,
+        buffer_depth: int,
+    ):
+        self.index = index
+        self.kind = kind
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.direction = direction
+        self.vcs: List[VirtualChannel] = [
+            VirtualChannel(self, i, buffer_depth) for i in range(num_vcs)
+        ]
+        self.occupied_count = 0
+        self.last_flit_cycle = NEVER
+        self.active_since = NEVER
+        self.last_drain_cycle = NEVER
+        self.gp = GPState.PROPAGATE
+        self.i_threshold: Optional[int] = None
+        self.on_i_reset: Optional[Callable[["PhysicalChannel", int], None]] = None
+        # Input channels whose blocked header waits on this output channel;
+        # maintained only when the selective G/P promotion variant is active.
+        self.waiters: Optional[set] = None
+        # Counter value latched when the channel became fully unoccupied;
+        # the hardware register keeps its value across unoccupied gaps.
+        self._frozen_inactivity = 0
+
+    # ------------------------------------------------------------------
+    # Occupancy bookkeeping (called by VirtualChannel)
+    # ------------------------------------------------------------------
+    def note_occupied(self, cycle: int) -> None:
+        """Register one more occupied lane (starts/resumes the counter)."""
+        if self.occupied_count == 0:
+            # Resume the counter from its frozen value: the virtual start
+            # is back-dated so inactivity(cycle) == frozen value now.
+            self.active_since = cycle - self._frozen_inactivity
+        self.occupied_count += 1
+
+    def note_released(self, cycle: int) -> None:
+        """Register one freed lane (freezes the counter at zero lanes)."""
+        self.occupied_count -= 1
+        if self.occupied_count < 0:
+            raise RuntimeError(f"{self.describe()}: negative occupancy")
+        if self.occupied_count == 0:
+            start = self.last_flit_cycle
+            if self.active_since > start:
+                start = self.active_since
+            self._frozen_inactivity = cycle - start
+
+    # ------------------------------------------------------------------
+    # Monitor
+    # ------------------------------------------------------------------
+    def inactivity(self, cycle: int) -> int:
+        """Cycles since the last flit crossed, while at least one VC is held.
+
+        This is the value of the paper's per-channel counter at ``cycle``.
+        """
+        if self.occupied_count == 0:
+            return self._frozen_inactivity
+        start = self.last_flit_cycle
+        if self.active_since > start:
+            start = self.active_since
+        return cycle - start
+
+    def record_flit(self, cycle: int) -> None:
+        """Account for one flit crossing the channel at ``cycle``.
+
+        Resets the inactivity monitor; if that transition clears a set
+        I flag, the ``on_i_reset`` hook fires *before* the reset so the
+        detector observes the transition (the paper's root-relabeling rule).
+        """
+        if (
+            self.i_threshold is not None
+            and self.on_i_reset is not None
+            and self.occupied_count > 0
+        ):
+            start = self.last_flit_cycle
+            if self.active_since > start:
+                start = self.active_since
+            if cycle - start > self.i_threshold:
+                self.on_i_reset(self, cycle)
+        self.last_flit_cycle = cycle
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def free_vcs(self) -> List[VirtualChannel]:
+        """The currently unoccupied lanes of this channel."""
+        return [vc for vc in self.vcs if vc.occupant is None]
+
+    def has_free_vc(self) -> bool:
+        """Whether any lane of this channel is unoccupied."""
+        return self.occupied_count < len(self.vcs)
+
+    def describe(self) -> str:
+        """Short human-readable identity (endpoint nodes and kind)."""
+        if self.kind is PortKind.NETWORK:
+            return f"net[{self.src_node}->{self.dst_node} dir={self.direction}]"
+        if self.kind is PortKind.INJECTION:
+            return f"inj[node={self.dst_node}]"
+        return f"ej[node={self.src_node}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PC#{self.index} {self.describe()}"

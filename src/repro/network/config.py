@@ -1,0 +1,204 @@
+"""Simulation configuration.
+
+One :class:`SimulationConfig` fully determines a simulation run (given the
+seed, runs are bit-reproducible).  The defaults mirror the paper's network
+model (Sec. 4.1): true fully adaptive routing, 3 virtual channels per
+physical channel, 4-flit buffers, four injection/ejection ports per node,
+message injection limitation, and the new detection mechanism with t1 = 1.
+
+The full-scale topology of the paper is ``radix=8, dimensions=3`` (512
+nodes); the default here is the 64-node 8-ary 2-cube used by the quick
+benchmark mode (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.network.topology import KAryNCube, Mesh, Topology
+
+
+@dataclass
+class TrafficConfig:
+    """Workload: destination pattern, message lengths and injection rate.
+
+    Attributes:
+        pattern: destination pattern name (see ``repro.traffic.patterns``).
+        pattern_params: extra keyword arguments for the pattern
+            (e.g. ``{"radius": 1}`` for locality, ``{"fraction": 0.05}``
+            for hot-spot).
+        lengths: message length spec name (see ``repro.traffic.lengths``):
+            ``"s"`` (16 flits), ``"l"`` (64), ``"L"`` (256) or ``"sl"``
+            (60 % 16-flit / 40 % 64-flit), or ``"fixed"`` with
+            ``length_params={"flits": n}``.
+        length_params: extra keyword arguments for the length spec.
+        injection_rate: offered load in flits/cycle/node (the paper's unit).
+    """
+
+    pattern: str = "uniform"
+    pattern_params: Dict[str, Any] = field(default_factory=dict)
+    lengths: str = "s"
+    length_params: Dict[str, Any] = field(default_factory=dict)
+    injection_rate: float = 0.2
+
+
+@dataclass
+class DetectorConfig:
+    """Which deadlock detection mechanism runs and with what thresholds.
+
+    Attributes:
+        mechanism: ``"ndm"`` (the paper's contribution), ``"pdm"``
+            (previous mechanism [13]), ``"timeout"`` (crude header-blocked
+            timeout, Disha-style), ``"source-age"`` / ``"injection-stall"``
+            (source-side timeouts [16], [10]) or ``"none"``.
+        threshold: the detection threshold in cycles (t2 for NDM, the IF
+            threshold for PDM, the timeout for the crude mechanisms).
+        t1: NDM inactivity threshold for the I flag (paper uses 1 cycle).
+        selective_promotion: if True, use the selective variant of the NDM
+            G/P promotion rule (only inputs waiting on the reset output are
+            promoted) instead of the paper's simple all-P-to-G variant.
+    """
+
+    mechanism: str = "ndm"
+    threshold: int = 32
+    t1: int = 1
+    selective_promotion: bool = False
+
+
+@dataclass
+class SimulationConfig:
+    """Everything needed to build and run one simulation."""
+
+    # --- topology -----------------------------------------------------
+    topology: str = "torus"  # "torus" (k-ary n-cube) or "mesh"
+    radix: int = 8
+    dimensions: int = 2
+
+    # --- router / channel model (paper Sec. 4.1) ----------------------
+    vcs_per_channel: int = 3
+    buffer_depth: int = 4
+    injection_ports: int = 4
+    ejection_ports: int = 4
+    routing: str = "fully-adaptive"
+    #: If True, at most one flit per cycle may leave each input physical
+    #: channel through the crossbar (per-physical-port crossbar).  The
+    #: paper's model is a full crossbar switch (per-VC ports), so the
+    #: default leaves only the channel-side constraint of one flit per
+    #: cycle per physical channel.
+    crossbar_input_limit: bool = False
+
+    # --- injection limitation [11, 12] ---------------------------------
+    #: Inject a new message only while the number of busy network output
+    #: VCs at the node is *at most* floor(fraction * total).  ``None``
+    #: disables the mechanism.
+    injection_limit_fraction: Optional[float] = 0.4
+
+    # --- workload -------------------------------------------------------
+    traffic: TrafficConfig = field(default_factory=TrafficConfig)
+
+    # --- deadlock handling ----------------------------------------------
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    #: "progressive" (recovery-lane delivery, default), "progressive-reinject"
+    #: (absorb and re-inject at the header node), "regressive"
+    #: (abort-and-retry at the source) or "none".
+    recovery: str = "progressive"
+
+    # --- run control ------------------------------------------------------
+    seed: int = 1
+    warmup_cycles: int = 1000
+    measure_cycles: int = 5000
+    #: After measurement, keep simulating (without generating new traffic)
+    #: for at most this many cycles so in-flight messages can drain.
+    drain_cycles: int = 0
+    #: Run the ground-truth deadlock analyzer every N cycles (0 disables the
+    #: periodic sweep; detection-time checks still run when enabled_truth).
+    ground_truth_interval: int = 200
+    #: Whether to classify each detection event as true/false deadlock.
+    ground_truth_on_detection: bool = True
+    #: Cap on source queue length per node; generation stalls (and is
+    #: counted) when the queue is full.  0 means unbounded.
+    source_queue_limit: int = 0
+
+    # ------------------------------------------------------------------
+    def build_topology(self) -> Topology:
+        if self.topology == "torus":
+            return KAryNCube(self.radix, self.dimensions)
+        if self.topology == "mesh":
+            return Mesh(self.radix, self.dimensions)
+        raise ValueError(
+            f"unknown topology {self.topology!r}; choose 'torus' or 'mesh'"
+        )
+
+    def injection_limit(self, total_network_vcs: int) -> Optional[int]:
+        """Busy-VC cap implied by ``injection_limit_fraction`` (or None)."""
+        if self.injection_limit_fraction is None:
+            return None
+        if not 0.0 < self.injection_limit_fraction <= 1.0:
+            raise ValueError(
+                "injection_limit_fraction must be in (0, 1], got "
+                f"{self.injection_limit_fraction}"
+            )
+        return int(math.floor(self.injection_limit_fraction * total_network_vcs))
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent settings."""
+        if self.vcs_per_channel < 1:
+            raise ValueError("vcs_per_channel must be >= 1")
+        if self.buffer_depth < 1:
+            raise ValueError("buffer_depth must be >= 1")
+        if self.injection_ports < 1 or self.ejection_ports < 1:
+            raise ValueError("need at least one injection and ejection port")
+        if self.traffic.injection_rate < 0:
+            raise ValueError("injection_rate must be >= 0")
+        if self.warmup_cycles < 0 or self.measure_cycles < 1:
+            raise ValueError("warmup_cycles >= 0 and measure_cycles >= 1 required")
+        if self.detector.threshold < 1:
+            raise ValueError("detector threshold must be >= 1")
+        if self.recovery not in (
+            "progressive",
+            "progressive-reinject",
+            "regressive",
+            "none",
+        ):
+            raise ValueError(f"unknown recovery scheme {self.recovery!r}")
+        self.build_topology()  # validates radix/dimensions
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-serializable) for results provenance."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SimulationConfig":
+        """Inverse of :meth:`to_dict`; validates the rebuilt config."""
+        data = dict(payload)
+        traffic = TrafficConfig(**data.pop("traffic"))
+        detector = DetectorConfig(**data.pop("detector"))
+        config = cls(traffic=traffic, detector=detector, **data)
+        config.validate()
+        return config
+
+    def replace(self, **changes: Any) -> "SimulationConfig":
+        """Copy with top-level fields replaced (nested configs deep-copied)."""
+        clone = dataclasses.replace(
+            self,
+            traffic=dataclasses.replace(
+                self.traffic,
+                pattern_params=dict(self.traffic.pattern_params),
+                length_params=dict(self.traffic.length_params),
+            ),
+            detector=dataclasses.replace(self.detector),
+        )
+        return dataclasses.replace(clone, **changes)
+
+
+def paper_config() -> SimulationConfig:
+    """The paper's full-scale configuration: 8-ary 3-cube, 512 nodes."""
+    return SimulationConfig(radix=8, dimensions=3)
+
+
+def quick_config() -> SimulationConfig:
+    """Scaled-down configuration for tests and quick benchmarks (64 nodes)."""
+    return SimulationConfig(radix=8, dimensions=2)

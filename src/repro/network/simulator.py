@@ -1,0 +1,643 @@
+"""The flit-level wormhole network simulator.
+
+Synchronous cycle model.  Each cycle runs, in order:
+
+1. periodic ground-truth deadlock sweep (optional);
+2. source-side detector checks (timeout mechanisms only);
+3. **routing**: every pending header (newly arrived or blocked) attempts to
+   acquire an output virtual channel; failed attempts feed the detection
+   mechanism, which may mark the message and trigger recovery;
+4. **movement**: one flit per physical channel per cycle advances, worms
+   chain-advance front-to-back, tails release channels, deliveries finish;
+5. **injection**: queued messages grab free injection-port VCs, subject to
+   the injection limitation mechanism (recovery re-injections are exempt
+   and prioritized);
+6. **generation**: Bernoulli traffic sources enqueue new messages.
+
+Timing matches the paper's model in the quantities that drive detection:
+routing retried every cycle for blocked headers, one flit per cycle per
+physical channel (virtual channels time-multiplexed), channel inactivity
+measured from the last flit transmission.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set
+
+from repro.analysis.deadlock import find_deadlocked
+from repro.metrics.stats import SimulationStats
+from repro.network.channel import PhysicalChannel, VirtualChannel
+from repro.network.config import SimulationConfig
+from repro.network.message import Message
+from repro.network.router import Router
+from repro.network.routing import make_routing_function
+from repro.network.types import DetectionEvent, MessageStatus, NodeId, PortKind
+from repro.traffic.workload import Workload
+
+try:  # optional fast path for traffic generation
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is installed in CI
+    _np = None
+
+
+class Simulator:
+    """One simulation instance built from a :class:`SimulationConfig`."""
+
+    def __init__(self, config: SimulationConfig):
+        config.validate()
+        self.config = config
+        self.topology = config.build_topology()
+        self.rng = random.Random(config.seed)
+        self._gen_rng = (
+            _np.random.default_rng(config.seed ^ 0x5EED) if _np is not None else None
+        )
+        self.routing_fn = make_routing_function(config.routing)
+        self.workload = Workload(config.traffic, self.topology)
+
+        self.routers: List[Router] = []
+        self.channels: List[PhysicalChannel] = []
+        self._build_network()
+
+        # Imported here, not at module level: repro.core detectors type-hint
+        # against network classes, so a module-level import would be cyclic.
+        from repro.core.recovery import make_recovery
+        from repro.core.registry import make_detector
+
+        self.detector = make_detector(config.detector)
+        self.detector.attach(self)
+        self.recovery = make_recovery(config.recovery, self)
+
+        self.stats = SimulationStats(
+            warmup_cycles=config.warmup_cycles,
+            measure_cycles=config.measure_cycles,
+            num_nodes=self.topology.num_nodes,
+        )
+
+        self.cycle = 0
+        self.measuring = False
+        self._input_limit = config.crossbar_input_limit
+        #: Optional structured event recorder (see repro.network.tracing);
+        #: assign a Tracer instance to enable, None keeps the hot path free.
+        self.tracer = None
+        self.generation_enabled = True
+        self._next_message_id = 0
+        self.active_messages: List[Message] = []
+        self.pending_route: List[Message] = []
+        self.source_queues: List[Deque[Message]] = [
+            deque() for _ in range(self.topology.num_nodes)
+        ]
+        self.recovery_queues: Dict[NodeId, Deque[Message]] = {}
+        self._nodes_with_source: Set[NodeId] = set()
+        self.injection_limits: List[Optional[int]] = [
+            config.injection_limit(r.total_network_vcs()) for r in self.routers
+        ]
+        self._truth_cache_cycle = -1
+        self._truth_cache: Set[Message] = set()
+        self._ever_deadlocked: Set[int] = set()
+        # (ready_cycle, seq, message) heap of recovery-lane deliveries.
+        self._recovery_deliveries: List = []
+        self._recovery_seq = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_network(self) -> None:
+        cfg = self.config
+        topo = self.topology
+        self.routers = [Router(n) for n in range(topo.num_nodes)]
+        index = 0
+        for node in range(topo.num_nodes):
+            for direction, neighbor in topo.neighbors(node):
+                pc = PhysicalChannel(
+                    index,
+                    PortKind.NETWORK,
+                    node,
+                    neighbor,
+                    direction,
+                    cfg.vcs_per_channel,
+                    cfg.buffer_depth,
+                )
+                index += 1
+                self.channels.append(pc)
+                self.routers[node].add_output(direction, pc)
+                self.routers[neighbor].add_input(pc)
+        for node in range(topo.num_nodes):
+            for _ in range(cfg.injection_ports):
+                pc = PhysicalChannel(
+                    index,
+                    PortKind.INJECTION,
+                    None,
+                    node,
+                    None,
+                    cfg.vcs_per_channel,
+                    cfg.buffer_depth,
+                )
+                index += 1
+                self.channels.append(pc)
+                self.routers[node].add_injection(pc)
+            for _ in range(cfg.ejection_ports):
+                pc = PhysicalChannel(
+                    index,
+                    PortKind.EJECTION,
+                    node,
+                    None,
+                    None,
+                    cfg.vcs_per_channel,
+                    cfg.buffer_depth,
+                )
+                index += 1
+                self.channels.append(pc)
+                self.routers[node].add_ejection(pc)
+
+    # ------------------------------------------------------------------
+    # Top-level control
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationStats:
+        """Run warmup + measurement (+ optional drain); return statistics."""
+        cfg = self.config
+        total = cfg.warmup_cycles + cfg.measure_cycles
+        while self.cycle < total:
+            self.step()
+        if cfg.drain_cycles > 0:
+            self.generation_enabled = False
+            self.measuring = False
+            deadline = self.cycle + cfg.drain_cycles
+            while self.cycle < deadline and (
+                self.active_messages or any(self.source_queues)
+            ):
+                self.step()
+        self.stats.cycles_run = self.cycle
+        return self.stats
+
+    def step(self) -> None:
+        """Advance the simulation by one cycle."""
+        cycle = self.cycle
+        cfg = self.config
+        if cycle == cfg.warmup_cycles:
+            self.measuring = True
+        if cycle == cfg.warmup_cycles + cfg.measure_cycles:
+            self.measuring = False
+
+        interval = cfg.ground_truth_interval
+        if interval and cycle and cycle % interval == 0:
+            self._truth_sweep(cycle)
+
+        if self._recovery_deliveries:
+            self._complete_recovery_deliveries(cycle)
+
+        if self.detector.needs_periodic_check:
+            for m in self.detector.periodic_check(self.active_messages, cycle):
+                if m.status is MessageStatus.IN_NETWORK and not m.marked_deadlocked:
+                    self._handle_detection(m, cycle)
+
+        self._routing_phase(cycle)
+        self._movement_phase(cycle)
+        self._injection_phase(cycle)
+        if self.generation_enabled:
+            self._generation_phase(cycle)
+        self.cycle = cycle + 1
+
+    # ------------------------------------------------------------------
+    # Phase 3: routing
+    # ------------------------------------------------------------------
+    def _routing_phase(self, cycle: int) -> None:
+        pending = self.pending_route
+        if not pending:
+            return
+        still_pending: List[Message] = []
+        offset = cycle % len(pending)
+        order = pending[offset:] + pending[:offset]
+        self.pending_route = still_pending
+        for m in order:
+            if m.status is not MessageStatus.IN_NETWORK:
+                continue  # recovered/removed since it was queued
+            if not self._attempt_route(m, cycle):
+                if m.status is MessageStatus.IN_NETWORK:
+                    still_pending.append(m)
+
+    def _attempt_route(self, m: Message, cycle: int) -> bool:
+        """Try to allocate an output VC for ``m``'s header; True on success."""
+        node = m.header_router()
+        router = self.routers[node]
+        if m.first_attempt_done:
+            candidates = m.feasible_pcs
+        elif m.dest == node:
+            candidates = tuple(router.ejection_pcs)
+        else:
+            dirs = self.routing_fn.candidates(self.topology, node, m.dest)
+            candidates = tuple(router.output_pcs[d] for d in dirs)
+
+        free: List[VirtualChannel] = []
+        if self.routing_fn.uses_vc_classes:
+            allowed = m.feasible_vcs
+            if allowed is None:
+                allowed = tuple(
+                    vc
+                    for pc in candidates
+                    for vc in self.routing_fn.allowed_vcs(
+                        self.topology, pc, node, m.dest
+                    )
+                )
+            for vc in allowed:
+                if vc.occupant is None:
+                    free.append(vc)
+        else:
+            allowed = None
+            for pc in candidates:
+                if pc.occupied_count < len(pc.vcs):
+                    for vc in pc.vcs:
+                        if vc.occupant is None:
+                            free.append(vc)
+        if free:
+            vc = free[0] if len(free) == 1 else self.rng.choice(free)
+            vc.allocate(m, cycle)
+            if vc.pc.kind is PortKind.NETWORK:
+                router.note_network_vc_allocated()
+            m.allocated_vc = vc
+            self.detector.on_message_routed(m, cycle)
+            m.reset_routing_state()
+            if self.tracer is not None:
+                self.tracer.record(("route", cycle, m.id, node, vc.pc.index))
+            return True
+
+        first = not m.first_attempt_done
+        if first:
+            m.first_attempt_done = True
+            m.blocked_since = cycle
+            m.feasible_pcs = candidates
+            m.feasible_vcs = allowed
+            if self.tracer is not None:
+                self.tracer.record(("block", cycle, m.id, node))
+        if not m.marked_deadlocked and self.detector.on_blocked_attempt(
+            m, router, cycle, first
+        ):
+            self._handle_detection(m, cycle)
+        return False
+
+    # ------------------------------------------------------------------
+    # Phase 4: movement
+    # ------------------------------------------------------------------
+    def _movement_phase(self, cycle: int) -> None:
+        active = self.active_messages
+        if not active:
+            return
+        keep: List[Message] = []
+        offset = cycle % len(active)
+        order = active[offset:] + active[:offset]
+        self.active_messages = keep
+        for m in order:
+            if m.status is not MessageStatus.IN_NETWORK:
+                m.in_active = False
+                continue
+            self._advance_message(m, cycle)
+            if m.status is MessageStatus.IN_NETWORK:
+                keep.append(m)
+            else:
+                m.in_active = False
+
+    def _advance_message(self, m: Message, cycle: int) -> None:
+        spans = m.spans
+        # -- header into its granted output VC --------------------------
+        avc = m.allocated_vc
+        if avc is not None:
+            tpc = avc.pc
+            if tpc.last_flit_cycle != cycle:
+                ok = True
+                if spans and self._input_limit:
+                    spc = spans[-1].pc
+                    if spc.last_drain_cycle == cycle:
+                        ok = False
+                if ok:
+                    if spans:
+                        head = spans[-1]
+                        head.flits -= 1
+                        head.pc.last_drain_cycle = cycle
+                    else:
+                        m.flits_at_source -= 1
+                        m.last_source_flit_cycle = cycle
+                        if m.inject_cycle is None:
+                            m.inject_cycle = cycle
+                            if self.tracer is not None:
+                                self.tracer.record(
+                                    ("inject", cycle, m.id, m.inject_node)
+                                )
+                            if not m.ever_injected:
+                                m.ever_injected = True
+                                self.stats.injected += 1
+                                if self.measuring:
+                                    self.stats.injected_measured += 1
+                    tpc.record_flit(cycle)
+                    if tpc.kind is PortKind.EJECTION:
+                        m.flits_delivered += 1
+                    else:
+                        avc.flits += 1
+                    spans.append(avc)
+                    m.allocated_vc = None
+                    if tpc.kind is not PortKind.EJECTION:
+                        # Header buffered at the next router: needs routing.
+                        self.pending_route.append(m)
+
+        # -- body flits, front (header side) to back (tail side) --------
+        n = len(spans)
+        for i in range(n - 1, 0, -1):
+            up = spans[i - 1]
+            if up.flits == 0:
+                continue
+            down = spans[i]
+            dpc = down.pc
+            if dpc.last_flit_cycle == cycle:
+                continue
+            sink = dpc.kind is PortKind.EJECTION
+            if not sink and down.flits >= down.capacity:
+                continue
+            upc = up.pc
+            if self._input_limit and upc.last_drain_cycle == cycle:
+                continue
+            up.flits -= 1
+            upc.last_drain_cycle = cycle
+            dpc.record_flit(cycle)
+            if sink:
+                m.flits_delivered += 1
+            else:
+                down.flits += 1
+
+        # -- source flits into the injection VC -------------------------
+        if m.flits_at_source > 0 and spans:
+            first = spans[0]
+            fpc = first.pc
+            if fpc.last_flit_cycle != cycle and first.flits < first.capacity:
+                m.flits_at_source -= 1
+                m.last_source_flit_cycle = cycle
+                fpc.record_flit(cycle)
+                first.flits += 1
+
+        # -- tail release ------------------------------------------------
+        while len(spans) > 1 and m.flits_at_source == 0 and spans[0].flits == 0:
+            self._release_vc(spans.pop(0), cycle)
+
+        # -- delivery ------------------------------------------------------
+        if m.flits_delivered == m.length:
+            for vc in spans:
+                self._release_vc(vc, cycle)
+            spans.clear()
+            self._finish_delivery(m, cycle)
+
+    def _finish_delivery(self, m: Message, cycle: int) -> None:
+        m.status = MessageStatus.DELIVERED
+        m.deliver_cycle = cycle
+        if self.tracer is not None:
+            self.tracer.record(("deliver", cycle, m.id, m.dest))
+        st = self.stats
+        st.delivered += 1
+        st.flits_delivered += m.length
+        if self.measuring:
+            st.delivered_measured += 1
+            st.flits_delivered_measured += m.length
+            if m.counted:
+                latency = cycle - m.gen_cycle
+                st.latency_sum += latency
+                if m.inject_cycle is not None:
+                    st.network_latency_sum += cycle - m.inject_cycle
+                st.latency_count += 1
+                if latency > st.max_latency:
+                    st.max_latency = latency
+
+    # ------------------------------------------------------------------
+    # Phase 5: injection
+    # ------------------------------------------------------------------
+    def _injection_phase(self, cycle: int) -> None:
+        # Recovery re-injections first: priority and exempt from limitation.
+        if self.recovery_queues:
+            done = []
+            for node, queue in self.recovery_queues.items():
+                router = self.routers[node]
+                while queue:
+                    vc = router.free_injection_vc()
+                    if vc is None:
+                        break
+                    self._start_injection(queue.popleft(), vc, cycle)
+                if not queue:
+                    done.append(node)
+            for node in done:
+                del self.recovery_queues[node]
+
+        if not self._nodes_with_source:
+            return
+        drained = []
+        for node in self._nodes_with_source:
+            queue = self.source_queues[node]
+            router = self.routers[node]
+            limit = self.injection_limits[node]
+            while queue:
+                if limit is not None and router.busy_network_vcs > limit:
+                    break
+                vc = router.free_injection_vc()
+                if vc is None:
+                    break
+                self._start_injection(queue.popleft(), vc, cycle)
+            if not queue:
+                drained.append(node)
+        for node in drained:
+            self._nodes_with_source.discard(node)
+
+    def _start_injection(self, m: Message, vc: VirtualChannel, cycle: int) -> None:
+        vc.allocate(m, cycle)
+        m.allocated_vc = vc
+        m.status = MessageStatus.IN_NETWORK
+        if not m.in_active:
+            m.in_active = True
+            self.active_messages.append(m)
+
+    # ------------------------------------------------------------------
+    # Phase 6: generation
+    # ------------------------------------------------------------------
+    def _generation_phase(self, cycle: int) -> None:
+        p = self.workload.generation_probability
+        if p <= 0.0:
+            return
+        num = self.topology.num_nodes
+        if self._gen_rng is not None:
+            count = int(self._gen_rng.binomial(num, p))
+            if count == 0:
+                return
+            sources = self.rng.sample(range(num), count)
+        else:
+            sources = [n for n in range(num) if self.rng.random() < p]
+        for source in sources:
+            self._generate_at(source, cycle)
+
+    def _generate_at(self, source: NodeId, cycle: int) -> None:
+        draw = self.workload.pattern.destination(source, self.rng)
+        if draw is None:
+            return
+        limit = self.config.source_queue_limit
+        queue = self.source_queues[source]
+        if limit and len(queue) >= limit:
+            self.stats.source_queue_drops += 1
+            return
+        length = self.workload.lengths.draw(self.rng)
+        m = Message(self._next_message_id, source, draw, length, cycle)
+        self._next_message_id += 1
+        m.counted = self.measuring
+        self.stats.generated += 1
+        if self.measuring:
+            self.stats.generated_measured += 1
+        queue.append(m)
+        self._nodes_with_source.add(source)
+
+    # ------------------------------------------------------------------
+    # Detection & recovery plumbing
+    # ------------------------------------------------------------------
+    def _handle_detection(self, m: Message, cycle: int) -> None:
+        truly: Optional[bool] = None
+        if self.config.ground_truth_on_detection:
+            truly = m in self._truth_at(cycle)
+        node = m.header_router()
+        event = DetectionEvent(
+            cycle=cycle,
+            message_id=m.id,
+            node=node if node is not None else m.inject_node,
+            mechanism=self.detector.name,
+            truly_deadlocked=truly,
+        )
+        st = self.stats
+        st.detection_events.append(event)
+        st.detections += 1
+        if self.measuring:
+            st.detections_measured += 1
+        if truly is None:
+            st.unclassified_detections += 1
+        elif truly:
+            st.true_detections += 1
+        else:
+            st.false_detections += 1
+        if m.times_detected == 0:
+            st.messages_detected += 1
+            if self.measuring:
+                st.messages_detected_measured += 1
+        m.times_detected += 1
+        m.marked_deadlocked = True
+        if self.tracer is not None:
+            self.tracer.record(
+                ("detect", cycle, m.id, event.node, self.detector.name)
+            )
+        self.recovery.recover(m, cycle)
+
+    def free_worm(self, m: Message, cycle: int) -> None:
+        """Release every channel the worm holds (recovery teardown)."""
+        if self.tracer is not None:
+            node = m.header_router()
+            self.tracer.record(
+                ("recover", cycle, m.id, node if node is not None else -1)
+            )
+        self.detector.on_message_removed(m, cycle)
+        vcs = list(m.spans)
+        if m.allocated_vc is not None:
+            vcs.append(m.allocated_vc)
+            m.allocated_vc = None
+        m.spans = []
+        for vc in vcs:
+            self._release_vc(vc, cycle)
+
+    def _release_vc(self, vc: VirtualChannel, cycle: int) -> None:
+        pc = vc.pc
+        vc.release(cycle)
+        if pc.kind is PortKind.NETWORK:
+            self.routers[pc.src_node].note_network_vc_released()
+        self.detector.on_vc_released(vc, cycle)
+
+    def schedule_recovery_delivery(self, m: Message, ready_cycle: int) -> None:
+        """Deliver ``m`` through the out-of-band recovery lane at a cycle.
+
+        The worm's channels must already be freed; the message sits in
+        node-local software buffers until the lane finishes transferring it.
+        """
+        m.status = MessageStatus.RECOVERING
+        self._recovery_seq += 1
+        heapq.heappush(
+            self._recovery_deliveries, (ready_cycle, self._recovery_seq, m)
+        )
+
+    def _complete_recovery_deliveries(self, cycle: int) -> None:
+        heap = self._recovery_deliveries
+        while heap and heap[0][0] <= cycle:
+            _, _, m = heapq.heappop(heap)
+            m.flits_at_source = 0
+            m.flits_delivered = m.length
+            self._finish_delivery(m, cycle)
+
+    def enqueue_recovery(self, m: Message, node: NodeId) -> None:
+        """Queue a progressive-recovery re-injection at ``node``."""
+        queue = self.recovery_queues.get(node)
+        if queue is None:
+            queue = deque()
+            self.recovery_queues[node] = queue
+        queue.append(m)
+
+    def enqueue_source(self, m: Message, node: NodeId, front: bool = False) -> None:
+        """Queue a message at a node's normal source queue."""
+        if front:
+            self.source_queues[node].appendleft(m)
+        else:
+            self.source_queues[node].append(m)
+        self._nodes_with_source.add(node)
+
+    # ------------------------------------------------------------------
+    # Ground truth
+    # ------------------------------------------------------------------
+    def _truth_at(self, cycle: int) -> Set[Message]:
+        """Deadlocked-message set for this cycle (cached per cycle)."""
+        if self._truth_cache_cycle != cycle:
+            self._truth_cache = find_deadlocked(self.active_messages)
+            self._truth_cache_cycle = cycle
+        return self._truth_cache
+
+    def _truth_sweep(self, cycle: int) -> None:
+        deadlocked = self._truth_at(cycle)
+        st = self.stats
+        st.truth_sweeps += 1
+        if deadlocked:
+            st.truth_sweeps_with_deadlock += 1
+            if len(deadlocked) > st.max_deadlock_set_size:
+                st.max_deadlock_set_size = len(deadlocked)
+            for m in deadlocked:
+                self._ever_deadlocked.add(m.id)
+            st.truly_deadlocked_messages = len(self._ever_deadlocked)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (tests, examples)
+    # ------------------------------------------------------------------
+    def message_count_in_network(self) -> int:
+        """Number of messages currently holding network resources."""
+        return sum(
+            1
+            for m in self.active_messages
+            if m.status is MessageStatus.IN_NETWORK
+        )
+
+    def check_invariants(self) -> None:
+        """Verify global conservation invariants; raise on violation."""
+        for m in self.active_messages:
+            if m.status is MessageStatus.IN_NETWORK:
+                m.check_conservation()
+        for router in self.routers:
+            busy = sum(
+                1
+                for pc in router.output_pc_list
+                for vc in pc.vcs
+                if vc.occupant is not None
+            )
+            if busy != router.busy_network_vcs:
+                raise AssertionError(
+                    f"router {router.node}: busy VC count {router.busy_network_vcs} "
+                    f"!= actual {busy}"
+                )
+        for pc in self.channels:
+            occupied = sum(1 for vc in pc.vcs if vc.occupant is not None)
+            if occupied != pc.occupied_count:
+                raise AssertionError(
+                    f"{pc}: occupied_count {pc.occupied_count} != actual {occupied}"
+                )

@@ -1,0 +1,84 @@
+"""Structured event tracing.
+
+A :class:`Tracer` records simulator events as plain tuples for debugging,
+trace-driven tests, and the anatomy example.  Tracing is pull-free: the
+simulator exposes a ``tracer`` attribute that is ``None`` by default, and
+every hot-path call site guards with ``if tracer is not None`` — zero cost
+when disabled.
+
+Event kinds (first tuple element):
+
+* ``("inject", cycle, message_id, node)`` — header entered an injection VC;
+* ``("route", cycle, message_id, node, channel_index)`` — output granted;
+* ``("block", cycle, message_id, node)`` — first failed routing attempt;
+* ``("deliver", cycle, message_id, node)`` — message fully ejected;
+* ``("detect", cycle, message_id, node, mechanism)`` — marked deadlocked;
+* ``("recover", cycle, message_id, node)`` — worm torn down by recovery.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional, Tuple
+
+Event = Tuple  # ("kind", cycle, message_id, ...)
+
+
+class Tracer:
+    """Bounded in-memory event recorder.
+
+    Args:
+        capacity: maximum events retained (oldest dropped first);
+            0 means unbounded.
+        kinds: optional whitelist of event kinds to record.
+    """
+
+    def __init__(self, capacity: int = 100_000, kinds: Optional[Iterable[str]] = None):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.events: Deque[Event] = deque(
+            maxlen=capacity if capacity else None
+        )
+        self.dropped = 0
+
+    def record(self, event: Event) -> None:
+        if self.kinds is not None and event[0] not in self.kinds:
+            return
+        if self.capacity and len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.events if e[0] == kind]
+
+    def for_message(self, message_id: int) -> List[Event]:
+        return [e for e in self.events if e[2] == message_id]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e[0] == kind)
+
+    def lifecycle(self, message_id: int) -> List[str]:
+        """The ordered event kinds one message went through."""
+        return [e[0] for e in self.for_message(message_id)]
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tracer({len(self.events)} events, dropped={self.dropped})"
+
+
+def format_event(event: Event) -> str:
+    """Human-readable single-line rendering of one event."""
+    kind, cycle, message_id, *rest = event
+    extra = " ".join(str(r) for r in rest)
+    return f"[{cycle:>7}] {kind:<8} msg={message_id} {extra}".rstrip()

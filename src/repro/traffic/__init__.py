@@ -1,0 +1,45 @@
+"""Traffic patterns and message-length workloads."""
+
+from repro.traffic.lengths import (
+    BimodalLength,
+    FixedLength,
+    LengthSpec,
+    PAPER_SIZES,
+    UniformLength,
+    make_length_spec,
+)
+from repro.traffic.patterns import (
+    BitReversalPattern,
+    ButterflyPattern,
+    ComplementPattern,
+    HotSpotPattern,
+    LocalityPattern,
+    PerfectShufflePattern,
+    TrafficPattern,
+    TransposePattern,
+    UniformPattern,
+    make_pattern,
+    pattern_names,
+)
+from repro.traffic.workload import Workload
+
+__all__ = [
+    "BimodalLength",
+    "BitReversalPattern",
+    "ButterflyPattern",
+    "ComplementPattern",
+    "FixedLength",
+    "HotSpotPattern",
+    "LengthSpec",
+    "LocalityPattern",
+    "PAPER_SIZES",
+    "PerfectShufflePattern",
+    "TrafficPattern",
+    "TransposePattern",
+    "UniformLength",
+    "UniformPattern",
+    "Workload",
+    "make_length_spec",
+    "make_pattern",
+    "pattern_names",
+]

@@ -1,0 +1,132 @@
+"""Message length distributions.
+
+The paper evaluates 16-flit messages (**s**), 64-flit (**l**), 256-flit
+(**L**) and a hybrid load (**sl**) of 60 % 16-flit and 40 % 64-flit
+messages.  The mean length converts the paper's flits/cycle/node injection
+rates into per-cycle message generation probabilities.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+
+class LengthSpec:
+    """Strategy interface for drawing message lengths (in flits)."""
+
+    name = "abstract"
+
+    def draw(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        raise NotImplementedError
+
+
+class FixedLength(LengthSpec):
+    """Every message has exactly ``flits`` flits."""
+
+    name = "fixed"
+
+    def __init__(self, flits: int):
+        if flits < 1:
+            raise ValueError(f"message length must be >= 1 flit, got {flits}")
+        self.flits = flits
+
+    def draw(self, rng: random.Random) -> int:
+        return self.flits
+
+    def mean(self) -> float:
+        return float(self.flits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedLength({self.flits})"
+
+
+class BimodalLength(LengthSpec):
+    """Mix of two fixed lengths (the paper's ``sl`` load)."""
+
+    name = "bimodal"
+
+    def __init__(self, short: int = 16, long: int = 64, short_fraction: float = 0.6):
+        if short < 1 or long < 1:
+            raise ValueError("message lengths must be >= 1 flit")
+        if not 0.0 <= short_fraction <= 1.0:
+            raise ValueError(
+                f"short_fraction must be in [0, 1], got {short_fraction}"
+            )
+        self.short = short
+        self.long = long
+        self.short_fraction = short_fraction
+
+    def draw(self, rng: random.Random) -> int:
+        if rng.random() < self.short_fraction:
+            return self.short
+        return self.long
+
+    def mean(self) -> float:
+        return self.short_fraction * self.short + (1 - self.short_fraction) * self.long
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BimodalLength(short={self.short}, long={self.long}, "
+            f"short_fraction={self.short_fraction})"
+        )
+
+
+class UniformLength(LengthSpec):
+    """Lengths uniform on ``[low, high]`` (extra, not in the paper)."""
+
+    name = "uniform"
+
+    def __init__(self, low: int, high: int):
+        if low < 1 or high < low:
+            raise ValueError(f"need 1 <= low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def draw(self, rng: random.Random) -> int:
+        return rng.randint(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformLength({self.low}, {self.high})"
+
+
+#: The paper's named message-size workloads (Table captions: s, l, L, sl).
+PAPER_SIZES: Dict[str, str] = {
+    "s": "16-flit messages",
+    "l": "64-flit messages",
+    "L": "256-flit messages",
+    "sl": "60% 16-flit + 40% 64-flit",
+}
+
+
+def make_length_spec(name: str, **params: object) -> LengthSpec:
+    """Instantiate a length spec by config name.
+
+    Accepts the paper's shorthand names (``"s"``, ``"l"``, ``"L"``,
+    ``"sl"``) plus ``"fixed"``, ``"bimodal"`` and ``"uniform"`` with
+    explicit parameters.
+    """
+    if name == "s":
+        return FixedLength(16)
+    if name == "l":
+        return FixedLength(64)
+    if name == "L":
+        return FixedLength(256)
+    if name == "sl":
+        return BimodalLength(short=16, long=64, short_fraction=0.6)
+    if name == "fixed":
+        return FixedLength(**params)  # type: ignore[arg-type]
+    if name == "bimodal":
+        return BimodalLength(**params)  # type: ignore[arg-type]
+    if name == "uniform":
+        return UniformLength(**params)  # type: ignore[arg-type]
+    raise ValueError(
+        f"unknown length spec {name!r}; choose from "
+        f"{sorted(PAPER_SIZES) + ['fixed', 'bimodal', 'uniform']}"
+    )

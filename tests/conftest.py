@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.config import SimulationConfig
+from repro.network.simulator import Simulator
+
+
+def small_config(**overrides) -> SimulationConfig:
+    """A fast 16-node torus configuration for unit-level simulation tests."""
+    config = SimulationConfig(
+        radix=4,
+        dimensions=2,
+        warmup_cycles=100,
+        measure_cycles=400,
+        seed=123,
+    )
+    config.traffic.injection_rate = 0.1
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+@pytest.fixture
+def config() -> SimulationConfig:
+    return small_config()
+
+
+@pytest.fixture
+def sim(config) -> Simulator:
+    return Simulator(config)
+
+
+@pytest.fixture
+def run_sim():
+    """Factory fixture: build, run and return (simulator, stats)."""
+
+    def _run(config: SimulationConfig):
+        simulator = Simulator(config)
+        stats = simulator.run()
+        return simulator, stats
+
+    return _run

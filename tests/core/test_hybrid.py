@@ -1,0 +1,99 @@
+"""Tests for the hybrid NDM + timeout-backstop detector."""
+
+import pytest
+
+from repro.core.hybrid import HybridDetection
+from repro.figures.scenarios import (
+    Scenario,
+    build_figure2,
+    build_figure3,
+    place_worm,
+    scenario_config,
+)
+from repro.network.simulator import Simulator
+
+
+class TestConstruction:
+    def test_fallback_threshold_scaled(self):
+        detector = HybridDetection(threshold=16, fallback_factor=16)
+        assert detector.fallback_threshold == 256
+
+    def test_factor_validation(self):
+        with pytest.raises(ValueError):
+            HybridDetection(threshold=16, fallback_factor=1)
+
+    def test_describe(self):
+        assert "fallback=256" in HybridDetection(16).describe()
+
+    def test_registry_integration(self):
+        from repro.core.registry import make_detector
+        from repro.network.config import DetectorConfig
+
+        detector = make_detector(DetectorConfig(mechanism="hybrid", threshold=8))
+        assert isinstance(detector, HybridDetection)
+
+
+class TestPrimaryBehaviourMatchesNDM:
+    def test_figure2_quiet(self):
+        scenario = build_figure2("hybrid", threshold=16)
+        scenario.run(600)
+        assert scenario.detected_names() == []
+
+    def test_figure3_detects_b_via_ndm_rule(self):
+        # With recovery active, B's recovery resolves the deadlock long
+        # before anyone reaches the fallback window.
+        scenario = build_figure3("hybrid", threshold=16, recovery="progressive")
+        scenario.run(400)
+        assert scenario.detected_names() == ["B"]
+        assert scenario.sim.detector.fallback_detections == 0
+
+    def test_figure3_without_recovery_backstop_catches_rest(self):
+        # If nothing recovers the marked message, the liveness backstop
+        # eventually marks the remaining members too.
+        scenario = build_figure3("hybrid", threshold=16, recovery="none")
+        scenario.run(400)
+        assert scenario.detected_names()[0] == "B"
+        assert set(scenario.detected_names()) == {"B", "C", "D", "E"}
+        assert scenario.sim.detector.fallback_detections == 3
+
+
+class TestBackstop:
+    def _config(self, threshold=8):
+        return scenario_config("hybrid", threshold, "none")
+
+    def test_p_flagged_message_eventually_marked(self):
+        """A message the NDM would never mark (P forever, holder parked)
+        is caught by the fallback timeout."""
+        scenario = Scenario(Simulator(self._config(threshold=4)))
+        sim = scenario.sim
+        place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=60, parked=True)
+        scenario.run(20)  # channel long silent before the waiter arrives
+        waiter = place_worm(sim, (3, 1), [(1, -1)], (4, 0), length=16)
+        # NDM rule: all-I-set at first attempt -> P -> never detected; the
+        # hybrid's backstop fires at 4 * 16 = 64 blocked cycles.
+        ok = scenario.run_until(lambda s: waiter.marked_deadlocked, limit=200)
+        assert ok
+        assert sim.detector.fallback_detections == 1
+
+    def test_plain_ndm_never_marks_that_message(self):
+        scenario = Scenario(
+            Simulator(scenario_config("ndm", 4, "none"))
+        )
+        sim = scenario.sim
+        place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=60, parked=True)
+        scenario.run(20)
+        waiter = place_worm(sim, (3, 1), [(1, -1)], (4, 0), length=16)
+        scenario.run(200)
+        assert not waiter.marked_deadlocked
+
+    def test_backstop_latency_bounded(self):
+        scenario = Scenario(Simulator(self._config(threshold=4)))
+        sim = scenario.sim
+        place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=60, parked=True)
+        scenario.run(20)
+        waiter = place_worm(sim, (3, 1), [(1, -1)], (4, 0), length=16)
+        scenario.run_until(lambda s: waiter.marked_deadlocked, limit=300)
+        event = sim.stats.detection_events[-1]
+        blocked_for = event.cycle - (sim.cycle - (sim.cycle - event.cycle))
+        assert event.cycle <= 20 + 2 + 64 + 10  # arrival + fallback + slack
+        assert blocked_for >= 0

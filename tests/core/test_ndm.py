@@ -1,0 +1,176 @@
+"""Unit tests for the NDM protocol state machine.
+
+The figure-level behaviour (paper Figs. 2-5) is covered by
+``tests/figures/test_scenarios.py``; these tests exercise the individual
+rules of Section 3 through controlled micro-scenarios.
+"""
+
+import pytest
+
+from repro.core.ndm import NewDetectionMechanism
+from repro.figures.scenarios import (
+    Scenario,
+    build_figure2,
+    place_worm,
+    scenario_config,
+)
+from repro.network.simulator import Simulator
+from repro.network.types import GPState
+
+
+def fresh_scenario(mechanism="ndm", threshold=16, **kwargs) -> Scenario:
+    return Scenario(Simulator(scenario_config(mechanism, threshold, **kwargs)))
+
+
+class TestConstruction:
+    def test_t1_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NewDetectionMechanism(threshold=16, t1=0)
+
+    def test_t1_must_be_below_t2(self):
+        with pytest.raises(ValueError, match="t1 << t2"):
+            NewDetectionMechanism(threshold=4, t1=4)
+
+    def test_describe_mentions_variant(self):
+        simple = NewDetectionMechanism(32)
+        selective = NewDetectionMechanism(32, selective_promotion=True)
+        assert "simple" in simple.describe()
+        assert "selective" in selective.describe()
+
+
+class TestFirstAttemptRule:
+    """Paper Sec. 3: the G/P value set on the first unsuccessful attempt."""
+
+    def test_g_when_requested_channel_active(self):
+        # B blocks on a channel whose occupant (A) is advancing -> G.
+        scenario = fresh_scenario()
+        sim = scenario.sim
+        a = place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=36)
+        scenario.run(2)
+        b = place_worm(sim, (3, 1), [(1, -1)], (4, 0), length=16)
+        scenario.run(2)
+        assert b.is_blocked()
+        assert b.input_pc.gp is GPState.GENERATE
+
+    def test_p_when_requested_channel_already_blocked(self):
+        # C blocks on a channel whose occupant (B) was already blocked -> P.
+        scenario = build_figure2()
+        scenario.run(2)
+        c = scenario.messages["C"]
+        assert c.is_blocked()
+        assert c.input_pc.gp is GPState.PROPAGATE
+
+    def test_p_when_input_channel_has_free_lane(self):
+        # With several VCs per input channel, an arriver that is not the
+        # last one cannot produce deadlock yet -> P.
+        config = scenario_config("ndm", 16)
+        config.vcs_per_channel = 2
+        scenario = Scenario(Simulator(config))
+        sim = scenario.sim
+        # Fill the single feasible output (2 VCs) with two advancing worms.
+        place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=60)
+        place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=60)
+        scenario.run(2)
+        # B arrives through an input channel with a free second lane.
+        b = place_worm(sim, (3, 1), [(1, -1)], (4, 0), length=16)
+        scenario.run(2)
+        assert b.is_blocked()
+        assert b.input_pc.occupied_count < len(b.input_pc.vcs)
+        assert b.input_pc.gp is GPState.PROPAGATE
+
+
+class TestDetectionRule:
+    def test_no_detection_while_some_dt_clear(self):
+        # The root keeps advancing: DT stays clear, no detection ever.
+        scenario = fresh_scenario(threshold=8)
+        sim = scenario.sim
+        place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=200)
+        scenario.run(2)
+        b = place_worm(sim, (3, 1), [(1, -1)], (4, 0), length=16)
+        scenario.run(100)  # A still draining: channel active throughout
+        assert not b.marked_deadlocked
+        assert scenario.detected_names() == []
+
+    def test_no_detection_with_p_flag_even_after_t2(self):
+        scenario = build_figure2(threshold=8)
+        c = scenario.messages["C"]
+        scenario.run(12)  # beyond t2=8; C's waited channel has been silent
+        assert c.is_blocked()
+        assert c.input_pc.gp is GPState.PROPAGATE
+        assert not c.marked_deadlocked
+
+    def test_detection_needs_g_and_all_dt(self):
+        # Root advancing at arrival (G), then blocks forever -> detection
+        # after roughly t2 more cycles.
+        scenario = fresh_scenario(threshold=16, recovery="none")
+        sim = scenario.sim
+        # A: advancing but will block at (6,0) on a channel occupied by a
+        # parked worm.
+        place_worm(sim, (6, 0), [(0, +1)], (1, 0), length=60, parked=True)
+        a = place_worm(sim, (3, 0), [(0, +1)], (7, 0), length=16)
+        scenario.run(2)
+        b = place_worm(sim, (3, 1), [(1, -1)], (4, 0), length=16)
+        ok = scenario.run_until(lambda s: b.marked_deadlocked, limit=400)
+        assert ok
+
+
+class TestGPResets:
+    def test_routed_message_resets_input_to_p(self):
+        # Selective promotion keeps unrelated I-flag resets from
+        # re-promoting the flag we are watching (the simple variant would).
+        scenario = fresh_scenario(selective_promotion=True)
+        sim = scenario.sim
+        a = place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=24)
+        scenario.run(2)
+        b = place_worm(sim, (3, 1), [(1, -1)], (4, 0), length=16)
+        scenario.run(2)
+        input_pc = b.input_pc
+        assert input_pc.gp is GPState.GENERATE
+        # When A's tail frees the channel B routes into it; the routing
+        # success must reset B's input channel flag to P.
+        ok = scenario.run_until(lambda s: len(b.spans) > 2, limit=400)
+        assert ok  # B advanced into the freed channel
+        assert input_pc.gp is GPState.PROPAGATE
+
+    def test_vc_release_resets_to_p(self):
+        scenario = fresh_scenario()
+        sim = scenario.sim
+        a = place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=8)
+        pc = a.spans[-1].pc
+        pc.gp = GPState.GENERATE
+        sim.free_worm(a, sim.cycle)
+        assert pc.gp is GPState.PROPAGATE
+
+
+class TestPromotionVariants:
+    @pytest.mark.parametrize("selective", [False, True])
+    def test_promotion_restores_g(self, selective):
+        """Figure 5's relabeling works under both promotion variants."""
+        from repro.figures.scenarios import build_figure5
+
+        scenario, _ = build_figure5(
+            "ndm", threshold=16, selective_promotion=selective
+        )
+        scenario.run(300)
+        assert scenario.detected_names()[-1] == "C"
+
+    def test_selective_waiter_registration(self):
+        scenario = fresh_scenario(selective_promotion=True)
+        sim = scenario.sim
+        place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=36)
+        scenario.run(2)
+        b = place_worm(sim, (3, 1), [(1, -1)], (4, 0), length=16)
+        scenario.run(2)
+        (requested,) = b.feasible_pcs
+        assert b.input_pc in requested.waiters
+
+    def test_selective_waiter_cleanup_on_route(self):
+        scenario = fresh_scenario(selective_promotion=True)
+        sim = scenario.sim
+        place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=16)
+        scenario.run(2)
+        b = place_worm(sim, (3, 1), [(1, -1)], (4, 0), length=16)
+        scenario.run(2)
+        (requested,) = b.feasible_pcs
+        scenario.run_until(lambda s: not requested.waiters, limit=400)
+        assert not requested.waiters

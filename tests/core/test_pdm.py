@@ -1,0 +1,64 @@
+"""Unit tests for the previous detection mechanism (PDM)."""
+
+from repro.figures.scenarios import (
+    Scenario,
+    build_figure2,
+    place_worm,
+    scenario_config,
+)
+from repro.network.simulator import Simulator
+
+
+def fresh_scenario(threshold=16) -> Scenario:
+    return Scenario(Simulator(scenario_config("pdm", threshold, "none")))
+
+
+class TestPDMDetection:
+    def test_no_detection_while_channel_active(self):
+        scenario = fresh_scenario(threshold=8)
+        sim = scenario.sim
+        place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=200)
+        scenario.run(2)
+        b = place_worm(sim, (3, 1), [(1, -1)], (4, 0), length=16)
+        scenario.run(60)
+        assert not b.marked_deadlocked
+
+    def test_detects_after_threshold_of_silence(self):
+        scenario = fresh_scenario(threshold=8)
+        sim = scenario.sim
+        # Parked worm that never routes: its channel goes silent at once.
+        place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=60, parked=True)
+        scenario.run(2)
+        b = place_worm(sim, (3, 1), [(1, -1)], (4, 0), length=16)
+        ok = scenario.run_until(lambda s: b.marked_deadlocked, limit=100)
+        assert ok
+
+    def test_detection_latency_tracks_threshold(self):
+        cycles = []
+        for threshold in (8, 32):
+            scenario = fresh_scenario(threshold=threshold)
+            sim = scenario.sim
+            place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=60, parked=True)
+            scenario.run(2)
+            b = place_worm(sim, (3, 1), [(1, -1)], (4, 0), length=16)
+            scenario.run_until(lambda s: b.marked_deadlocked, limit=300)
+            cycles.append(sim.stats.detection_events[0].cycle)
+        assert cycles[1] - cycles[0] >= 20  # ~ threshold difference
+
+    def test_false_detection_on_blocked_tree(self):
+        """Figure 2: the PDM falsely marks C and D (paper Sec. 2)."""
+        scenario = build_figure2("pdm", threshold=16)
+        scenario.run(400)
+        assert set(scenario.detected_names()) == {"C", "D"}
+
+    def test_detection_is_stateless_across_attempts(self):
+        """PDM has no per-message latch: a message blocked twice behind
+        active channels is never marked."""
+        scenario = fresh_scenario(threshold=64)
+        sim = scenario.sim
+        place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=30)
+        scenario.run(2)
+        b = place_worm(sim, (3, 1), [(1, -1)], (4, 0), length=16)
+        scenario.run(250)
+        assert not b.marked_deadlocked
+        assert b.status.value == "delivered"

@@ -1,0 +1,73 @@
+"""Tests for the idealized witness-based NDM variant (ablation)."""
+
+from repro.figures.scenarios import (
+    build_figure2,
+    build_figure3,
+    build_figure5,
+    place_worm,
+    scenario_config,
+    Scenario,
+)
+from repro.network.simulator import Simulator
+
+
+class TestPreciseNDMFigures:
+    """ndm-precise must reproduce the paper's figure outcomes exactly."""
+
+    def test_figure2_detects_nothing(self):
+        scenario = build_figure2("ndm-precise", threshold=16)
+        scenario.run(600)
+        assert scenario.detected_names() == []
+
+    def test_figure3_detects_only_b(self):
+        scenario = build_figure3("ndm-precise", threshold=16)
+        scenario.run(400)
+        assert scenario.detected_names() == ["B"]
+
+    def test_figure5_relabels_root(self):
+        scenario, _ = build_figure5("ndm-precise", threshold=16)
+        scenario.run(400)
+        assert scenario.detected_names() == ["B", "C"]
+
+
+class TestWitnessSemantics:
+    def test_no_witness_no_detection(self):
+        """A message that never saw an advancing holder stays quiet."""
+        scenario = Scenario(
+            Simulator(scenario_config("ndm-precise", 8, "none"))
+        )
+        sim = scenario.sim
+        place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=60, parked=True)
+        scenario.run(6)  # the parked worm's channel has long been silent...
+        # ... but 'parked' counts as non-blocked; use a blocked holder:
+        b = place_worm(sim, (3, 1), [(1, -1)], (4, 0), length=16)
+        scenario.run(40)
+        # b witnessed the parked (non-blocked) holder => eligible; verify
+        # the opposite with a chain: c waits on b which is blocked.
+        c = place_worm(sim, (4, 1), [(0, -1)], (3, 0), length=16)
+        scenario.run(60)
+        assert not c.marked_deadlocked
+
+    def test_witness_state_cleaned_on_route(self):
+        scenario = Scenario(
+            Simulator(scenario_config("ndm-precise", 8, "none"))
+        )
+        sim = scenario.sim
+        place_worm(sim, (3, 0), [(0, +1)], (6, 0), length=16)
+        scenario.run(2)
+        b = place_worm(sim, (3, 1), [(1, -1)], (4, 0), length=16)
+        scenario.run(400)
+        detector = sim.detector
+        assert b.id not in detector._witness
+        assert b.status.value == "delivered"
+
+    def test_registry_builds_precise(self):
+        from repro.core.precise import PreciseNDM
+        from repro.core.registry import make_detector
+        from repro.network.config import DetectorConfig
+
+        detector = make_detector(
+            DetectorConfig(mechanism="ndm-precise", threshold=24)
+        )
+        assert isinstance(detector, PreciseNDM)
+        assert detector.threshold == 24

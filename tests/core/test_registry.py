@@ -1,0 +1,64 @@
+"""Tests for the detector registry."""
+
+import pytest
+
+from repro.core.ndm import NewDetectionMechanism
+from repro.core.null import NoDetection
+from repro.core.pdm import PreviousDetectionMechanism
+from repro.core.registry import detector_names, make_detector
+from repro.core.timeout import (
+    HeaderBlockedTimeout,
+    InjectionStallTimeout,
+    SourceAgeTimeout,
+)
+from repro.network.config import DetectorConfig
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("ndm", NewDetectionMechanism),
+            ("pdm", PreviousDetectionMechanism),
+            ("timeout", HeaderBlockedTimeout),
+            ("source-age", SourceAgeTimeout),
+            ("injection-stall", InjectionStallTimeout),
+            ("none", NoDetection),
+        ],
+    )
+    def test_builds_right_class(self, name, cls):
+        detector = make_detector(DetectorConfig(mechanism=name, threshold=16))
+        assert isinstance(detector, cls)
+
+    def test_threshold_forwarded(self):
+        detector = make_detector(DetectorConfig(mechanism="pdm", threshold=77))
+        assert detector.threshold == 77
+
+    def test_ndm_options_forwarded(self):
+        detector = make_detector(
+            DetectorConfig(
+                mechanism="ndm", threshold=64, t1=2, selective_promotion=True
+            )
+        )
+        assert detector.t1 == 2
+        assert detector.selective_promotion
+
+    def test_unknown_mechanism_raises(self):
+        with pytest.raises(ValueError, match="unknown detection mechanism"):
+            make_detector(DetectorConfig(mechanism="oracle"))
+
+    def test_all_names_constructible(self):
+        for name in detector_names():
+            make_detector(DetectorConfig(mechanism=name, threshold=8))
+
+    def test_zero_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            make_detector(DetectorConfig(mechanism="pdm", threshold=0))
+
+    def test_base_hooks_are_noops(self):
+        detector = make_detector(DetectorConfig(mechanism="none"))
+        assert detector.on_blocked_attempt(None, None, 0, True) is False
+        assert detector.periodic_check([], 0) == []
+        detector.on_message_routed(None, 0)
+        detector.on_vc_released(None, 0)
+        detector.on_message_removed(None, 0)

@@ -1,0 +1,125 @@
+"""Tests for the command-line interface (monkeypatched to tiny runs)."""
+
+import pytest
+
+from repro.experiments import cli, tables
+from repro.experiments.runner import CellResult, TableResult
+from repro.experiments.spec import TABLE_SPECS, quick_spec
+
+
+def fake_result(table_id: int) -> TableResult:
+    spec = quick_spec(TABLE_SPECS[table_id])
+    result = TableResult(spec=spec, rates=tuple(0.1 * (i + 1) for i in
+                                                range(len(spec.load_fractions))))
+    result.cells = {
+        t: {
+            (i, s): CellResult(0.123, 1, 1, 0, 1, 100, 0.4, 0.4, False)
+            for i in range(len(result.rates))
+            for s in spec.sizes
+        }
+        for t in spec.thresholds
+    }
+    return result
+
+
+@pytest.fixture
+def patched(monkeypatch):
+    calls = []
+
+    def fake_regenerate(table_id, full=None, seed=7, saturation=None,
+                        progress=None):
+        calls.append(table_id)
+        if progress:
+            progress(1, 1)
+        return fake_result(table_id)
+
+    monkeypatch.setattr(cli, "regenerate_table", fake_regenerate)
+    return calls
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 7" in out
+
+    def test_table_command(self, patched, capsys):
+        assert cli.main(["table", "2"]) == 0
+        assert patched == [2]
+        assert "Th" in capsys.readouterr().out
+
+    def test_table_with_out_dir(self, patched, tmp_path, capsys):
+        assert cli.main(["table", "3", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table3.txt").exists()
+        assert (tmp_path / "table3.json").exists()
+
+    def test_compare_command(self, patched, capsys):
+        assert cli.main(["compare", "1"]) == 0
+        assert "/" in capsys.readouterr().out
+
+    def test_all_command(self, patched, capsys):
+        assert cli.main(["all"]) == 0
+        assert sorted(patched) == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_invalid_table_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["table", "9"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+
+class TestSaveResult:
+    def test_save_writes_txt_and_json(self, tmp_path):
+        path = tables.save_result(fake_result(2), str(tmp_path))
+        assert path.read_text().startswith("Table 2")
+        assert (tmp_path / "table2.json").exists()
+
+
+class TestTableSpecLookup:
+    def test_bad_table_id(self):
+        with pytest.raises(ValueError, match="no such table"):
+            tables.table_spec(0)
+
+    def test_quick_vs_full(self):
+        quick = tables.table_spec(2, full=False)
+        full = tables.table_spec(2, full=True)
+        assert len(quick.thresholds) < len(full.thresholds)
+
+
+class TestFiguresCommand:
+    def test_figures_replays_paper_outcomes(self, capsys):
+        assert cli.main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "figure 2: NDM detections = none" in out
+        assert "figure 3: NDM detections = ['B']" in out
+        assert "figure 5: detections = ['B', 'C']" in out
+        assert "simultaneous blocking" in out
+
+
+class TestLatencyCommand:
+    def test_latency_sweep_prints_curve(self, capsys, monkeypatch):
+        from repro.experiments import cli as cli_module
+
+        # Shrink the sweep: tiny base config, few steps.
+        from repro.experiments import spec as spec_module
+
+        def tiny_base(full=None):
+            from tests.conftest import small_config
+
+            config = small_config()
+            config.warmup_cycles = 100
+            config.measure_cycles = 400
+            return config
+
+        monkeypatch.setattr(cli_module, "base_config", tiny_base)
+        monkeypatch.setattr(
+            "repro.experiments.runner.calibrated_saturation",
+            lambda full=None: {"uniform": 1.0},
+        )
+        assert cli.main(["latency", "--steps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "offered" in out
+        assert "accepted" in out

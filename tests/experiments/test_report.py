@@ -1,0 +1,104 @@
+"""Tests for table rendering and serialization."""
+
+import json
+
+from repro.experiments.report import (
+    render_comparison,
+    render_table,
+    table_to_json,
+)
+from repro.experiments.runner import CellResult, TableResult
+from repro.experiments.spec import TABLE_SPECS, TableSpec, quick_spec
+
+
+def make_result() -> TableResult:
+    spec = TableSpec(
+        table_id=2,
+        title="demo",
+        mechanism="ndm",
+        pattern="uniform",
+        sizes=("s", "l"),
+        load_fractions=(0.785, 1.0),
+        paper_rates=(0.471, 0.600),
+        thresholds=(8, 32),
+        saturated_loads=(1,),
+    )
+    result = TableResult(spec=spec, rates=(0.52, 0.66))
+    value = 0.0
+    for threshold in spec.thresholds:
+        row = {}
+        for load_index in range(2):
+            for size in spec.sizes:
+                value += 0.111
+                row[(load_index, size)] = CellResult(
+                    percentage=value, detections=int(value * 10),
+                    messages_detected=int(value * 10),
+                    true_detections=0, false_detections=int(value * 10),
+                    injected=1000, throughput=0.5, injection_rate=0.5,
+                    had_true_deadlock=(threshold == 32 and size == "l"),
+                )
+        result.cells[threshold] = row
+    return result
+
+
+class TestRenderTable:
+    def test_contains_threshold_rows(self):
+        text = render_table(make_result())
+        assert "Th 8" in text
+        assert "Th 32" in text
+
+    def test_marks_saturated_load(self):
+        assert "(sat)" in render_table(make_result())
+
+    def test_star_annotation_present(self):
+        text = render_table(make_result())
+        assert "*" in text
+
+    def test_custom_title(self):
+        assert render_table(make_result(), title="XYZ").startswith("XYZ")
+
+    def test_all_cells_rendered(self):
+        result = make_result()
+        text = render_table(result)
+        for row in result.cells.values():
+            for cell in row.values():
+                assert f"{cell.percentage:.3f}" in text
+
+
+class TestRenderComparison:
+    def test_shows_ours_and_paper(self):
+        text = render_comparison(make_result())
+        assert "/" in text
+        # Paper Table 2 value at Th 8, load 0.471 (mapped), size s: 0.000.
+        assert "0.000" in text
+
+    def test_quick_grid_load_mapping(self):
+        # The quick grid keeps the paper's 2nd and last loads.
+        result = make_result()
+        text = render_comparison(result)
+        assert "comparison" in text
+
+
+class TestTableToJson:
+    def test_round_trips(self):
+        payload = json.loads(table_to_json(make_result()))
+        assert payload["table_id"] == 2
+        assert payload["mechanism"] == "ndm"
+        assert "8" in payload["cells"]
+        cell = payload["cells"]["8"]["0:s"]
+        assert set(cell) >= {"percentage", "true", "false", "throughput"}
+
+    def test_quick_specs_render_for_all_tables(self):
+        # Smoke: building the quick spec and rendering headers never fails.
+        for tid, spec in TABLE_SPECS.items():
+            quick = quick_spec(spec)
+            result = TableResult(spec=quick, rates=(0.1, 0.2))
+            result.cells = {
+                t: {
+                    (i, s): CellResult(0.0, 0, 0, 0, 0, 1, 0.1, 0.1, False)
+                    for i in range(2)
+                    for s in quick.sizes
+                }
+                for t in quick.thresholds
+            }
+            assert f"Table {tid}" in render_table(result)

@@ -1,0 +1,191 @@
+"""The paper's Figures 2-5, verified end-to-end.
+
+These are the defining behavioural tests of the reproduction: each test
+asserts the exact outcome the paper describes for its running example.
+"""
+
+import pytest
+
+from repro.analysis.deadlock import find_deadlocked
+from repro.figures.scenarios import (
+    build_figure2,
+    build_figure3,
+    build_figure4,
+    build_figure5,
+    channel_between,
+    scenario_config,
+)
+from repro.network.types import MessageStatus
+
+
+class TestFigure2:
+    """B, C, D blocked behind advancing A: no deadlock."""
+
+    def test_ndm_detects_nothing(self):
+        scenario = build_figure2("ndm", threshold=16)
+        scenario.run(600)
+        assert scenario.detected_names() == []
+
+    def test_all_messages_delivered(self):
+        scenario = build_figure2("ndm", threshold=16)
+        scenario.run(600)
+        assert all(
+            m.status is MessageStatus.DELIVERED
+            for m in scenario.messages.values()
+        )
+
+    def test_pdm_falsely_detects_c_and_d(self):
+        scenario = build_figure2("pdm", threshold=16)
+        scenario.run(600)
+        assert set(scenario.detected_names()) == {"C", "D"}
+
+    def test_pdm_does_not_detect_b(self):
+        # B waits on A's channel, which stays active while A drains.
+        scenario = build_figure2("pdm", threshold=16)
+        scenario.run(600)
+        assert "B" not in scenario.detected_names()
+
+    def test_never_a_true_deadlock(self):
+        scenario = build_figure2("none")
+        for _ in range(40):
+            scenario.run(5)
+            assert find_deadlocked(scenario.sim.active_messages) == set()
+
+    def test_selective_promotion_also_quiet(self):
+        scenario = build_figure2("ndm", threshold=16, selective_promotion=True)
+        scenario.run(600)
+        assert scenario.detected_names() == []
+
+
+class TestFigure3:
+    """E replaces A and closes the true deadlock {B, C, D, E}."""
+
+    def test_ground_truth_finds_the_cycle(self):
+        scenario = build_figure3("none")
+        scenario.run(40)
+        deadlocked = find_deadlocked(scenario.sim.active_messages)
+        assert sorted(scenario.name_of(m.id) for m in deadlocked) == [
+            "B", "C", "D", "E",
+        ]
+
+    def test_ndm_detects_exactly_b(self):
+        scenario = build_figure3("ndm", threshold=16)
+        scenario.run(400)
+        assert scenario.detected_names() == ["B"]
+
+    def test_detection_classified_as_true(self):
+        scenario = build_figure3("ndm", threshold=16)
+        scenario.run(400)
+        (event,) = scenario.sim.stats.detection_events
+        assert event.truly_deadlocked is True
+        assert scenario.sim.stats.true_detections == 1
+
+    def test_pdm_detects_every_member(self):
+        scenario = build_figure3("pdm", threshold=16)
+        scenario.run(400)
+        assert sorted(set(scenario.detected_names())) == ["B", "C", "D", "E"]
+
+    def test_detection_latency_scales_with_threshold(self):
+        cycles = []
+        for threshold in (8, 64):
+            scenario = build_figure3("ndm", threshold=threshold)
+            ok = scenario.run_until(
+                lambda s: s.sim.stats.detection_events, limit=1500
+            )
+            assert ok
+            cycles.append(scenario.sim.stats.detection_events[0].cycle)
+        assert cycles[1] > cycles[0] + 40
+
+    def test_e_gets_p_flag(self):
+        # E blocks on D's channel, which was silent long before E arrived.
+        scenario = build_figure3("ndm", threshold=16)
+        scenario.run(10)
+        e = scenario.messages["E"]
+        assert "E" not in scenario.detected_names()
+        assert e.is_blocked()
+
+
+class TestFigure4:
+    """Recovering B removes the deadlock."""
+
+    def test_everything_delivered_after_recovery(self):
+        scenario = build_figure4(threshold=16)
+        ok = scenario.run_until(
+            lambda s: all(
+                m.status is MessageStatus.DELIVERED
+                for m in s.messages.values()
+            ),
+            limit=3000,
+        )
+        assert ok
+
+    def test_exactly_one_recovery(self):
+        scenario = build_figure4(threshold=16)
+        scenario.run(1500)
+        assert scenario.sim.stats.recoveries == 1
+        assert scenario.detected_names() == ["B"]
+
+    def test_no_deadlock_remains(self):
+        scenario = build_figure4(threshold=16)
+        scenario.run(1500)
+        assert find_deadlocked(scenario.sim.active_messages) == set()
+
+
+class TestFigure5:
+    """F re-closes the cycle through B's freed channel; C detects."""
+
+    def test_c_detects_the_new_deadlock(self):
+        scenario, _ = build_figure5("ndm", threshold=16)
+        scenario.run(400)
+        assert scenario.detected_names() == ["B", "C"]
+
+    def test_new_cycle_members(self):
+        scenario, _ = build_figure5("ndm", threshold=16)
+        scenario.run(60)
+        deadlocked = find_deadlocked(scenario.sim.active_messages)
+        assert sorted(scenario.name_of(m.id) for m in deadlocked) == [
+            "C", "D", "E", "F",
+        ]
+
+    def test_f_itself_stays_quiet(self):
+        scenario, _ = build_figure5("ndm", threshold=16)
+        scenario.run(400)
+        assert "F" not in scenario.detected_names()
+
+    def test_selective_promotion_variant(self):
+        scenario, _ = build_figure5(
+            "ndm", threshold=16, selective_promotion=True
+        )
+        scenario.run(400)
+        assert scenario.detected_names()[-1] == "C"
+
+
+class TestScenarioInfrastructure:
+    def test_channel_between_finds_channel(self):
+        from repro.network.simulator import Simulator
+        from repro.figures.scenarios import Scenario
+
+        scenario = Scenario(Simulator(scenario_config()))
+        vc = channel_between(scenario.sim, (3, 0), (4, 0))
+        assert vc.pc.src_node == scenario.sim.topology.node_at((3, 0))
+        assert vc.pc.dst_node == scenario.sim.topology.node_at((4, 0))
+
+    def test_channel_between_rejects_non_neighbors(self):
+        from repro.network.simulator import Simulator
+        from repro.figures.scenarios import Scenario
+
+        scenario = Scenario(Simulator(scenario_config()))
+        with pytest.raises(ValueError):
+            channel_between(scenario.sim, (3, 0), (5, 0))
+
+    def test_placed_worms_satisfy_conservation(self):
+        scenario = build_figure3("none")
+        for message in scenario.messages.values():
+            message.check_conservation()
+        scenario.sim.check_invariants()
+
+    def test_scenario_name_lookup(self):
+        scenario = build_figure2("none")
+        b = scenario.messages["B"]
+        assert scenario.name_of(b.id) == "B"
+        assert scenario.name_of(10_000) is None

@@ -1,0 +1,89 @@
+"""Tests for the statistics container and derived metrics."""
+
+from repro.metrics.stats import SimulationStats
+from repro.network.types import DetectionEvent
+
+
+def make_stats(**overrides) -> SimulationStats:
+    stats = SimulationStats(
+        cycles_run=6000,
+        warmup_cycles=1000,
+        measure_cycles=5000,
+        num_nodes=64,
+    )
+    for key, value in overrides.items():
+        setattr(stats, key, value)
+    return stats
+
+
+class TestDetectionPercentage:
+    def test_zero_when_nothing_injected(self):
+        assert make_stats().detection_percentage() == 0.0
+
+    def test_counts_unique_messages(self):
+        stats = make_stats(
+            injected_measured=1000,
+            detections_measured=30,
+            messages_detected_measured=10,
+        )
+        assert stats.detection_percentage() == 1.0
+
+    def test_false_detection_percentage_filters_warmup(self):
+        stats = make_stats(injected_measured=100)
+        stats.detection_events = [
+            DetectionEvent(500, 1, 0, "ndm", truly_deadlocked=False),   # warmup
+            DetectionEvent(2000, 2, 0, "ndm", truly_deadlocked=False),  # counted
+            DetectionEvent(2500, 3, 0, "ndm", truly_deadlocked=True),   # true
+        ]
+        assert stats.false_detection_percentage() == 1.0
+
+
+class TestThroughputAndLatency:
+    def test_throughput_flits_per_cycle_per_node(self):
+        stats = make_stats(flits_delivered_measured=64 * 5000 // 2)
+        assert stats.throughput() == 0.5
+
+    def test_throughput_zero_without_window(self):
+        stats = SimulationStats()
+        assert stats.throughput() == 0.0
+
+    def test_average_latency(self):
+        stats = make_stats(latency_sum=1000, latency_count=10)
+        assert stats.average_latency() == 100.0
+
+    def test_average_latency_none_without_samples(self):
+        assert make_stats().average_latency() is None
+
+    def test_network_latency(self):
+        stats = make_stats(network_latency_sum=500, latency_count=10)
+        assert stats.average_network_latency() == 50.0
+
+
+class TestDeadlockIndicators:
+    def test_had_true_deadlock_from_detection(self):
+        assert make_stats(true_detections=1).had_true_deadlock()
+
+    def test_had_true_deadlock_from_sweep(self):
+        assert make_stats(truth_sweeps_with_deadlock=2).had_true_deadlock()
+
+    def test_no_deadlock_by_default(self):
+        assert not make_stats().had_true_deadlock()
+
+
+class TestSummary:
+    def test_summary_mentions_key_numbers(self):
+        stats = make_stats(
+            injected_measured=123,
+            delivered_measured=120,
+            messages_detected_measured=2,
+            detections_measured=2,
+            injected=200,
+            delivered=195,
+        )
+        text = stats.summary()
+        assert "123" in text
+        assert "throughput" in text
+        assert "detections" in text
+
+    def test_summary_handles_empty_run(self):
+        assert "n/a" in SimulationStats().summary()

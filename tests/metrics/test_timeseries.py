@@ -1,0 +1,89 @@
+"""Tests for windowed time-series collection."""
+
+import pytest
+
+from repro.metrics.timeseries import TimeSeriesCollector, WindowSample
+from repro.network.simulator import Simulator
+from tests.conftest import small_config
+
+
+def run_with_collector(rate=0.3, cycles=600, window=100):
+    config = small_config()
+    config.traffic.injection_rate = rate
+    sim = Simulator(config)
+    collector = TimeSeriesCollector(window=window)
+    for _ in range(cycles):
+        sim.step()
+        collector.maybe_sample(sim)
+    return sim, collector
+
+
+class TestSampling:
+    def test_window_alignment(self):
+        _, collector = run_with_collector(cycles=600, window=100)
+        assert len(collector.samples) == 6
+        for sample in collector.samples:
+            assert sample.cycles == 100
+
+    def test_no_sample_before_window(self):
+        config = small_config()
+        sim = Simulator(config)
+        collector = TimeSeriesCollector(window=100)
+        for _ in range(50):
+            sim.step()
+            assert not collector.maybe_sample(sim)
+        assert collector.samples == []
+
+    def test_manual_sample_any_time(self):
+        config = small_config()
+        sim = Simulator(config)
+        for _ in range(17):
+            sim.step()
+        sample = TimeSeriesCollector(window=1000).sample(sim)
+        assert sample.end_cycle == 17
+
+    def test_deltas_sum_to_totals(self):
+        sim, collector = run_with_collector(cycles=600, window=100)
+        collector.sample(sim)  # flush the partial tail window
+        assert sum(s.delivered for s in collector.samples) == sim.stats.delivered
+        assert sum(s.injected for s in collector.samples) == sim.stats.injected
+
+
+class TestSeries:
+    def test_throughput_series_positive_under_load(self):
+        sim, collector = run_with_collector(rate=0.3)
+        series = collector.throughput_series(sim.topology.num_nodes)
+        assert len(series) == len(collector.samples)
+        assert max(series) > 0.1
+
+    def test_steady_state_throughput_near_offered(self):
+        sim, collector = run_with_collector(rate=0.3, cycles=1200)
+        steady = collector.steady_state_throughput(sim.topology.num_nodes)
+        assert steady == pytest.approx(0.3, rel=0.35)
+
+    def test_occupancy_series_tracks_messages(self):
+        _, collector = run_with_collector(rate=0.3)
+        assert any(v > 0 for v in collector.occupancy_series())
+
+    def test_peak_blocked_zero_when_idle(self):
+        _, collector = run_with_collector(rate=0.0)
+        assert collector.peak_blocked() == 0
+
+    def test_empty_collector_defaults(self):
+        collector = TimeSeriesCollector()
+        assert collector.peak_blocked() == 0
+        assert collector.steady_state_throughput(16) == 0.0
+
+
+class TestWindowSample:
+    def test_throughput_computation(self):
+        sample = WindowSample(
+            start_cycle=0, end_cycle=100, injected=5, delivered=5,
+            flits_delivered=800, detections=0, recoveries=0,
+            blocked_headers=0, in_network=3,
+        )
+        assert sample.throughput(16) == pytest.approx(0.5)
+
+    def test_zero_cycle_window_safe(self):
+        sample = WindowSample(0, 0, 0, 0, 0, 0, 0, 0, 0)
+        assert sample.throughput(16) == 0.0

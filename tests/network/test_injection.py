@@ -1,0 +1,139 @@
+"""Injection: source queues, ports, and the injection limitation mechanism."""
+
+import pytest
+
+from repro.network.message import Message
+from repro.network.simulator import Simulator
+from repro.network.types import MessageStatus
+from tests.conftest import small_config
+
+
+def quiet_config(**overrides):
+    config = small_config(**overrides)
+    config.traffic.injection_rate = 0.0
+    config.ground_truth_interval = 0
+    return config
+
+
+def send_one(sim, source, dest, length):
+    m = Message(sim._next_message_id, source, dest, length, sim.cycle)
+    sim._next_message_id += 1
+    sim.enqueue_source(m, source)
+    return m
+
+
+class TestInjectionPorts:
+    def test_parallel_injection_up_to_port_count(self):
+        config = quiet_config(injection_ports=2, vcs_per_channel=1)
+        sim = Simulator(config)
+        m1 = send_one(sim, 0, 5, 8)
+        m2 = send_one(sim, 0, 5, 8)
+        m3 = send_one(sim, 0, 5, 8)
+        sim.step()
+        in_network = [m for m in (m1, m2, m3) if m.status is MessageStatus.IN_NETWORK]
+        # 2 ports x 1 VC = at most 2 worms can hold injection channels.
+        assert len(in_network) == 2
+
+    def test_queue_drains_in_fifo_order(self):
+        config = quiet_config(injection_ports=1, vcs_per_channel=1)
+        sim = Simulator(config)
+        first = send_one(sim, 0, 5, 8)
+        second = send_one(sim, 0, 5, 8)
+        for _ in range(400):
+            sim.step()
+        assert first.deliver_cycle < second.deliver_cycle
+
+
+class TestInjectionLimitation:
+    def _blocked_router_config(self):
+        """1 VC per channel so a node's outputs fill quickly."""
+        return quiet_config(vcs_per_channel=1, injection_ports=4)
+
+    def test_limitation_blocks_when_outputs_busy(self):
+        config = self._blocked_router_config()
+        config.injection_limit_fraction = 0.25  # allow <=1 of 4 busy VCs
+        sim = Simulator(config)
+        topo = sim.topology
+        # Two long worms out of node 0 occupy 2 network VCs (> limit).
+        m1 = send_one(sim, 0, topo.node_at((2, 0)), 60)
+        m2 = send_one(sim, 0, topo.node_at((0, 2)), 60)
+        for _ in range(10):
+            sim.step()
+        m3 = send_one(sim, 0, topo.node_at((2, 2)), 8)
+        for _ in range(10):
+            sim.step()
+        router = sim.routers[0]
+        assert router.busy_network_vcs >= 2
+        assert m3.status is MessageStatus.QUEUED  # throttled
+
+    def test_no_limitation_injects_immediately(self):
+        config = self._blocked_router_config()
+        config.injection_limit_fraction = None
+        sim = Simulator(config)
+        topo = sim.topology
+        send_one(sim, 0, topo.node_at((2, 0)), 60)
+        send_one(sim, 0, topo.node_at((0, 2)), 60)
+        for _ in range(10):
+            sim.step()
+        m3 = send_one(sim, 0, topo.node_at((2, 2)), 8)
+        for _ in range(5):
+            sim.step()
+        assert m3.status is MessageStatus.IN_NETWORK
+
+    def test_throttled_message_eventually_injected(self):
+        config = self._blocked_router_config()
+        config.injection_limit_fraction = 0.25
+        sim = Simulator(config)
+        topo = sim.topology
+        m1 = send_one(sim, 0, topo.node_at((2, 0)), 20)
+        m2 = send_one(sim, 0, topo.node_at((0, 2)), 20)
+        m3 = send_one(sim, 0, topo.node_at((2, 2)), 8)
+        for _ in range(500):
+            sim.step()
+        assert all(
+            m.status is MessageStatus.DELIVERED for m in (m1, m2, m3)
+        )
+
+    def test_limits_computed_per_router(self):
+        config = small_config(topology="mesh", injection_limit_fraction=0.5)
+        sim = Simulator(config)
+        # Mesh corner routers have fewer outputs than interior ones.
+        corner_limit = sim.injection_limits[0]
+        interior = sim.topology.node_at((1, 1))
+        assert sim.injection_limits[interior] > corner_limit
+
+
+class TestSourceQueueLimit:
+    def test_drops_counted_when_queue_full(self, run_sim):
+        config = small_config(source_queue_limit=2)
+        config.traffic.injection_rate = 0.95  # far beyond saturation
+        config.warmup_cycles = 100
+        config.measure_cycles = 800
+        _, stats = run_sim(config)
+        assert stats.source_queue_drops > 0
+
+    def test_unbounded_queue_never_drops(self, run_sim):
+        config = small_config(source_queue_limit=0)
+        config.traffic.injection_rate = 0.6
+        config.warmup_cycles = 100
+        config.measure_cycles = 500
+        _, stats = run_sim(config)
+        assert stats.source_queue_drops == 0
+
+
+class TestGenerationProcess:
+    def test_offered_load_matches_rate(self, run_sim):
+        config = small_config()
+        config.warmup_cycles = 200
+        config.measure_cycles = 3000
+        config.traffic.injection_rate = 0.2
+        _, stats = run_sim(config)
+        offered = stats.generated_measured * 16 / (3000 * 16)
+        assert offered == pytest.approx(0.2, rel=0.15)
+
+    def test_generated_messages_counted(self, run_sim):
+        config = small_config()
+        config.traffic.injection_rate = 0.2
+        _, stats = run_sim(config)
+        assert stats.generated > 0
+        assert stats.generated >= stats.injected

@@ -1,0 +1,119 @@
+"""Tests for routing functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.routing import (
+    DimensionOrder,
+    TrueFullyAdaptive,
+    make_routing_function,
+    routing_function_names,
+)
+from repro.network.topology import KAryNCube, Mesh
+
+
+class TestFactory:
+    def test_make_fully_adaptive(self):
+        assert isinstance(make_routing_function("fully-adaptive"), TrueFullyAdaptive)
+
+    def test_make_dimension_order(self):
+        assert isinstance(make_routing_function("dimension-order"), DimensionOrder)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown routing function"):
+            make_routing_function("magic")
+
+    def test_names_listed(self):
+        assert set(routing_function_names()) == {
+            "fully-adaptive",
+            "dimension-order",
+            "duato-adaptive",
+        }
+
+
+class TestTrueFullyAdaptive:
+    def setup_method(self):
+        self.topo = KAryNCube(8, 2)
+        self.rf = TrueFullyAdaptive()
+
+    def test_empty_at_destination(self):
+        assert self.rf.candidates(self.topo, 5, 5) == ()
+
+    def test_all_minimal_directions_offered(self):
+        cur = self.topo.node_at((0, 0))
+        dst = self.topo.node_at((2, 2))
+        assert set(self.rf.candidates(self.topo, cur, dst)) == {(0, +1), (1, +1)}
+
+    def test_single_direction_when_one_dim_left(self):
+        cur = self.topo.node_at((2, 0))
+        dst = self.topo.node_at((5, 0))
+        assert self.rf.candidates(self.topo, cur, dst) == ((0, +1),)
+
+    def test_deadlock_prone_flag(self):
+        assert TrueFullyAdaptive.deadlock_prone
+
+    def test_halfway_tie_offers_both(self):
+        topo = KAryNCube(8, 1)
+        assert set(self.rf.candidates(topo, 0, 4)) == {(0, +1), (0, -1)}
+
+    @given(
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=63),
+    )
+    @settings(max_examples=100)
+    def test_candidates_always_minimal(self, cur, dst):
+        topo = KAryNCube(8, 2)
+        rf = TrueFullyAdaptive()
+        base = topo.distance(cur, dst)
+        for direction in rf.candidates(topo, cur, dst):
+            nxt = topo.neighbor(cur, direction)
+            assert topo.distance(nxt, dst) == base - 1
+
+
+class TestDimensionOrder:
+    def setup_method(self):
+        self.topo = Mesh(4, 2)
+        self.rf = DimensionOrder()
+
+    def test_single_candidate(self):
+        cur = self.topo.node_at((0, 0))
+        dst = self.topo.node_at((3, 3))
+        assert len(self.rf.candidates(self.topo, cur, dst)) == 1
+
+    def test_corrects_lowest_dimension_first(self):
+        cur = self.topo.node_at((0, 0))
+        dst = self.topo.node_at((3, 3))
+        assert self.rf.candidates(self.topo, cur, dst) == ((0, +1),)
+
+    def test_moves_to_next_dimension_when_done(self):
+        cur = self.topo.node_at((3, 0))
+        dst = self.topo.node_at((3, 3))
+        assert self.rf.candidates(self.topo, cur, dst) == ((1, +1),)
+
+    def test_empty_at_destination(self):
+        assert self.rf.candidates(self.topo, 7, 7) == ()
+
+    def test_not_deadlock_prone(self):
+        assert not DimensionOrder.deadlock_prone
+
+    def test_torus_tie_break_deterministic(self):
+        topo = KAryNCube(8, 1)
+        assert DimensionOrder().candidates(topo, 0, 4) == ((0, +1),)
+
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+    )
+    @settings(max_examples=60)
+    def test_follows_a_single_deterministic_path(self, cur, dst):
+        topo = Mesh(4, 2)
+        rf = DimensionOrder()
+        node = cur
+        hops = 0
+        while node != dst:
+            (direction,) = rf.candidates(topo, node, dst)
+            node = topo.neighbor(node, direction)
+            hops += 1
+            assert hops <= topo.distance(cur, dst)
+        assert hops == topo.distance(cur, dst)

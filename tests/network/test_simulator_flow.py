@@ -1,0 +1,177 @@
+"""Flit-level flow control: bandwidth sharing, chaining, tail release."""
+
+import pytest
+
+from repro.network.message import Message
+from repro.network.simulator import Simulator
+from repro.network.types import MessageStatus, PortKind
+from tests.conftest import small_config
+
+
+def quiet_config(**overrides):
+    config = small_config(**overrides)
+    config.traffic.injection_rate = 0.0
+    config.ground_truth_interval = 0
+    return config
+
+
+def send_one(sim, source, dest, length):
+    m = Message(sim._next_message_id, source, dest, length, sim.cycle)
+    sim._next_message_id += 1
+    sim.enqueue_source(m, source)
+    return m
+
+
+class TestPhysicalChannelBandwidth:
+    def test_one_flit_per_channel_per_cycle(self):
+        """Two long worms sharing one ring channel deliver at half rate each."""
+        config = quiet_config()
+        sim = Simulator(config)
+        topo = sim.topology
+        # Both messages must cross the same single minimal channel
+        # (0,0)->(1,0): sources feed it from the same node 0 via injection,
+        # destinations two hops straight ahead.
+        dest = topo.node_at((2, 0))
+        m1 = send_one(sim, 0, dest, 30)
+        m2 = send_one(sim, 0, dest, 30)
+        for _ in range(400):
+            sim.step()
+        assert m1.status is MessageStatus.DELIVERED
+        assert m2.status is MessageStatus.DELIVERED
+        # Sharing the channel: the later finisher needs at least ~2x the
+        # solo drain time of one message.
+        solo = Simulator(config)
+        s1 = send_one(solo, 0, dest, 30)
+        for _ in range(400):
+            solo.step()
+        later = max(m1.deliver_cycle, m2.deliver_cycle)
+        assert later >= s1.deliver_cycle + 20
+
+    def test_vc_multiplexing_interleaves(self):
+        """With both worms active, neither starves (round-robin-ish)."""
+        config = quiet_config()
+        sim = Simulator(config)
+        dest = sim.topology.node_at((2, 0))
+        m1 = send_one(sim, 0, dest, 40)
+        m2 = send_one(sim, 0, dest, 40)
+        for _ in range(60):
+            sim.step()
+        # Both made progress (no starvation while multiplexed).
+        assert m1.flits_delivered + m1.flits_in_network() > 0
+        assert m2.flits_delivered + m2.flits_in_network() > 0
+
+
+class TestWormBehaviour:
+    def test_worm_spans_shrink_as_tail_passes(self):
+        config = quiet_config()
+        sim = Simulator(config)
+        dest = sim.topology.node_at((3, 0))
+        m = send_one(sim, 0, dest, 6)
+        max_spans = 0
+        while m.status is not MessageStatus.DELIVERED and sim.cycle < 300:
+            sim.step()
+            max_spans = max(max_spans, len(m.spans))
+        assert m.status is MessageStatus.DELIVERED
+        assert max_spans >= 3  # worm stretched over several channels
+        assert m.spans == []  # everything released
+
+    def test_blocked_worm_buffers_fill(self):
+        """A worm blocked behind another stops once its buffers are full."""
+        config = quiet_config(vcs_per_channel=1)
+        sim = Simulator(config)
+        dest = sim.topology.node_at((1, 0))  # offset 1: single minimal path
+        m1 = send_one(sim, 0, dest, 60)
+        for _ in range(8):
+            sim.step()
+        m2 = send_one(sim, 0, dest, 20)
+        for _ in range(40):
+            sim.step()
+        # m2 cannot enter the single network VC occupied by m1: its header
+        # is still at the injection stage, buffers at most full.
+        assert m2.status in (MessageStatus.QUEUED, MessageStatus.IN_NETWORK)
+        if m2.spans:
+            assert all(vc.flits <= vc.capacity for vc in m2.spans)
+        assert m1.status in (MessageStatus.IN_NETWORK, MessageStatus.DELIVERED)
+
+    def test_header_waits_for_free_vc(self):
+        config = quiet_config(vcs_per_channel=1)
+        sim = Simulator(config)
+        dest = sim.topology.node_at((1, 0))  # offset 1: single minimal path
+        m1 = send_one(sim, 0, dest, 80)
+        for _ in range(10):
+            sim.step()
+        m2 = send_one(sim, 0, dest, 10)
+        for _ in range(30):
+            sim.step()
+        assert m2.is_blocked() or m2.status is MessageStatus.QUEUED
+        # m2 eventually delivers once m1's tail frees the channel.
+        for _ in range(400):
+            sim.step()
+        assert m2.status is MessageStatus.DELIVERED
+
+
+class TestEjection:
+    def test_ejection_bandwidth_limits_hotspot(self):
+        """More simultaneous senders to one node than ejection ports."""
+        config = quiet_config(ejection_ports=1)
+        sim = Simulator(config)
+        topo = sim.topology
+        hot = topo.node_at((2, 2))
+        messages = []
+        for src_coords in ((1, 2), (3, 2), (2, 1), (2, 3)):
+            src = topo.node_at(src_coords)
+            messages.append(send_one(sim, src, hot, 12))
+        for _ in range(500):
+            sim.step()
+        assert all(m.status is MessageStatus.DELIVERED for m in messages)
+        # 4 x 12 flits through one 1-flit/cycle ejection port: >= 48 cycles.
+        assert max(m.deliver_cycle for m in messages) >= 48
+
+    def test_ejection_channels_released(self):
+        config = quiet_config()
+        sim = Simulator(config)
+        m = send_one(sim, 0, 5, 8)
+        for _ in range(100):
+            sim.step()
+        assert m.status is MessageStatus.DELIVERED
+        for router in sim.routers:
+            for pc in router.ejection_pcs:
+                assert pc.occupied_count == 0
+
+
+class TestCrossbarInputLimit:
+    def test_input_limit_slows_shared_input(self):
+        """With the per-input-port crossbar, VCs of one input serialize."""
+
+        def run(limit):
+            config = quiet_config(crossbar_input_limit=limit, vcs_per_channel=3)
+            sim = Simulator(config)
+            topo = sim.topology
+            # Two worms entering node (1,0) through the same channel
+            # (0,0)->(1,0), then diverging to different destinations.
+            d1 = topo.node_at((1, 1))
+            d2 = topo.node_at((1, 3))
+            m1 = send_one(sim, 0, d1, 24)
+            m2 = send_one(sim, 0, d2, 24)
+            for _ in range(400):
+                sim.step()
+            assert m1.status is MessageStatus.DELIVERED
+            assert m2.status is MessageStatus.DELIVERED
+            return max(m1.deliver_cycle, m2.deliver_cycle)
+
+        assert run(True) >= run(False)
+
+
+class TestRecoveryLane:
+    def test_detected_message_delivered_via_lane(self):
+        from repro.figures.scenarios import build_figure4
+
+        scenario = build_figure4(threshold=8)
+        scenario.run_until(
+            lambda s: s.messages["B"].status is MessageStatus.DELIVERED,
+            limit=2000,
+        )
+        b = scenario.messages["B"]
+        assert b.status is MessageStatus.DELIVERED
+        assert b.recoveries == 1
+        assert scenario.sim.stats.recoveries == 1

@@ -1,0 +1,112 @@
+"""Tests for structured event tracing."""
+
+import pytest
+
+from repro.network.simulator import Simulator
+from repro.network.tracing import Tracer, format_event
+from repro.network.types import MessageStatus
+from tests.conftest import small_config
+
+
+def traced_run(rate=0.2, cycles=400, **tracer_kwargs):
+    config = small_config()
+    config.traffic.injection_rate = rate
+    sim = Simulator(config)
+    sim.tracer = Tracer(**tracer_kwargs)
+    for _ in range(cycles):
+        sim.step()
+    return sim
+
+
+class TestTracerUnit:
+    def test_record_and_query(self):
+        tracer = Tracer()
+        tracer.record(("inject", 5, 1, 0))
+        tracer.record(("deliver", 9, 1, 3))
+        tracer.record(("inject", 6, 2, 1))
+        assert tracer.count("inject") == 2
+        assert [e[0] for e in tracer.for_message(1)] == ["inject", "deliver"]
+
+    def test_kind_filter(self):
+        tracer = Tracer(kinds=["detect"])
+        tracer.record(("inject", 1, 1, 0))
+        tracer.record(("detect", 2, 1, 0, "ndm"))
+        assert len(tracer) == 1
+        assert tracer.events[0][0] == "detect"
+
+    def test_capacity_bounds_memory(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.record(("inject", i, i, 0))
+        assert len(tracer) == 3
+        assert tracer.dropped == 7
+        assert tracer.events[0][1] == 7  # oldest retained
+
+    def test_unbounded_capacity(self):
+        tracer = Tracer(capacity=0)
+        for i in range(1000):
+            tracer.record(("inject", i, i, 0))
+        assert len(tracer) == 1000
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=-1)
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(("inject", 1, 1, 0))
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_format_event(self):
+        text = format_event(("detect", 120, 7, 3, "ndm"))
+        assert "detect" in text
+        assert "msg=7" in text
+        assert "120" in text
+
+
+class TestSimulatorIntegration:
+    def test_lifecycle_events_recorded(self):
+        sim = traced_run()
+        delivered = [
+            m for m in range(sim._next_message_id)
+            if sim.tracer.lifecycle(m)
+            and sim.tracer.lifecycle(m)[-1] == "deliver"
+        ]
+        assert delivered
+        # Each delivered message was injected before it was delivered.
+        mid = delivered[0]
+        kinds = sim.tracer.lifecycle(mid)
+        assert kinds.index("inject") < kinds.index("deliver")
+
+    def test_route_events_have_channel(self):
+        sim = traced_run()
+        routes = sim.tracer.of_kind("route")
+        assert routes
+        for event in routes[:20]:
+            assert isinstance(event[4], int)  # channel index
+
+    def test_deliver_count_matches_stats(self):
+        sim = traced_run()
+        assert sim.tracer.count("deliver") == sim.stats.delivered
+
+    def test_inject_count_matches_stats(self):
+        sim = traced_run()
+        assert sim.tracer.count("inject") == sim.stats.injected
+
+    def test_detection_events_traced(self):
+        from repro.figures.scenarios import build_figure3
+
+        scenario = build_figure3("ndm", threshold=8, recovery="progressive")
+        scenario.sim.tracer = Tracer()
+        scenario.run(600)
+        assert scenario.sim.tracer.count("detect") == 1
+        assert scenario.sim.tracer.count("recover") == 1
+
+    def test_no_tracer_no_overhead_path(self):
+        config = small_config()
+        config.traffic.injection_rate = 0.2
+        sim = Simulator(config)
+        assert sim.tracer is None
+        for _ in range(100):
+            sim.step()  # must not raise

@@ -1,0 +1,97 @@
+"""Tests for message length specifications."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.lengths import (
+    BimodalLength,
+    FixedLength,
+    PAPER_SIZES,
+    UniformLength,
+    make_length_spec,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(5)
+
+
+class TestFixed:
+    def test_draws_constant(self, rng):
+        spec = FixedLength(16)
+        assert all(spec.draw(rng) == 16 for _ in range(10))
+
+    def test_mean(self):
+        assert FixedLength(64).mean() == 64.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            FixedLength(0)
+
+
+class TestBimodal:
+    def test_only_two_lengths(self, rng):
+        spec = BimodalLength(short=16, long=64, short_fraction=0.6)
+        assert {spec.draw(rng) for _ in range(200)} == {16, 64}
+
+    def test_mean_matches_mix(self):
+        spec = BimodalLength(16, 64, 0.6)
+        assert spec.mean() == pytest.approx(0.6 * 16 + 0.4 * 64)
+
+    def test_fraction_statistics(self, rng):
+        spec = BimodalLength(16, 64, 0.6)
+        shorts = sum(1 for _ in range(5000) if spec.draw(rng) == 16)
+        assert 0.55 < shorts / 5000 < 0.65
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            BimodalLength(16, 64, 1.5)
+
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            BimodalLength(0, 64, 0.5)
+
+
+class TestUniformRange:
+    def test_within_bounds(self, rng):
+        spec = UniformLength(4, 10)
+        for _ in range(200):
+            assert 4 <= spec.draw(rng) <= 10
+
+    def test_mean(self):
+        assert UniformLength(4, 10).mean() == 7.0
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            UniformLength(10, 4)
+
+
+class TestPaperNames:
+    @pytest.mark.parametrize(
+        "name,expected_mean",
+        [("s", 16), ("l", 64), ("L", 256), ("sl", 35.2)],
+    )
+    def test_paper_shorthands(self, name, expected_mean):
+        assert make_length_spec(name).mean() == pytest.approx(expected_mean)
+
+    def test_paper_sizes_documented(self):
+        assert set(PAPER_SIZES) == {"s", "l", "L", "sl"}
+
+    def test_explicit_specs(self):
+        assert make_length_spec("fixed", flits=7).mean() == 7
+        assert make_length_spec("bimodal", short=2, long=4,
+                                short_fraction=0.5).mean() == 3
+        assert make_length_spec("uniform", low=2, high=4).mean() == 3
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown length spec"):
+            make_length_spec("xl")
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=30)
+    def test_fixed_mean_equals_value(self, flits):
+        assert FixedLength(flits).mean() == flits
