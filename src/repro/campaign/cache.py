@@ -1,0 +1,89 @@
+"""On-disk result cache keyed by simulation-config content hash.
+
+Layout: one JSON file per result, sharded by the first two hex digits of
+the hash (``<root>/ab/abcdef....json``) so large sweeps do not pile tens
+of thousands of files into one directory.  Writes are atomic
+(write-to-temp then ``os.replace``), so a cache shared by concurrent
+campaigns never exposes half-written entries; corrupt or truncated files
+are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+
+def default_cache_dir() -> str:
+    """Cache location used by the CLI: ``$REPRO_CACHE_DIR`` or a local dir."""
+    return os.environ.get("REPRO_CACHE_DIR", ".repro-campaign")
+
+
+class ResultCache:
+    """Content-addressed store of finished cell results.
+
+    Args:
+        root: cache directory (created lazily on first write).
+    """
+
+    def __init__(self, root: str):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        if len(key) < 3:
+            raise ValueError(f"cache key too short: {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> Path:
+        """Atomically store ``payload`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        """All stored hashes (walks the shard directories)."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.glob("*.json")):
+                yield entry.stem
+
+    def size(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number removed."""
+        removed = 0
+        for key in list(self.keys()):
+            self.path_for(key).unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ResultCache({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -1,0 +1,211 @@
+"""Parallel execution of campaign jobs.
+
+``execute_jobs`` resolves every :class:`~repro.campaign.jobs.CellJob`
+through three layers, cheapest first:
+
+1. **resume** — a finished record in the campaign manifest
+   (:class:`~repro.campaign.checkpoint.CampaignCheckpoint`) with a
+   matching config hash;
+2. **cache** — the content-addressed on-disk store
+   (:class:`~repro.campaign.cache.ResultCache`);
+3. **run** — a live simulation, either in-process (``num_workers=1``,
+   the deterministic serial fallback used by tests) or fanned out over a
+   ``ProcessPoolExecutor``.
+
+Cells run out of order under the pool, but results are keyed, so callers
+reassemble tables in canonical order and the output is bit-identical to
+the sequential path.  Workers ship lean ``SimulationStats`` dicts back
+(:meth:`~repro.metrics.stats.SimulationStats.to_dict` without the event
+log) and the parent derives the ``CellResult``, so both paths share one
+serialization round-trip.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.checkpoint import CampaignCheckpoint
+from repro.campaign.jobs import CellJob, cell_from_dict, cell_to_dict
+from repro.experiments.runner import CellResult, cell_from_stats
+from repro.metrics.stats import SimulationStats
+from repro.network.config import SimulationConfig
+from repro.network.simulator import Simulator
+
+ProgressFn = Callable[[int, int], None]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One resolved cell: the result plus execution telemetry."""
+
+    job: CellJob
+    cell: CellResult
+    #: Wall-clock seconds the simulation took (0 when served from disk).
+    wall_time: float
+    #: ``"serial"``, ``"pid<n>"``, ``"cache"`` or ``"manifest"``.
+    worker: str
+    #: ``"run"``, ``"cache"`` or ``"resume"``.
+    source: str
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: run one cell from its plain-dict payload.
+
+    Top-level (picklable) and dict-in/dict-out so the same function
+    backs the serial fallback and the process pool.
+    """
+    start = time.perf_counter()
+    config = SimulationConfig.from_dict(payload["config"])
+    stats = Simulator(config).run()
+    return {
+        "key": payload["key"],
+        "stats": stats.to_dict(include_events=False),
+        "wall_time": time.perf_counter() - start,
+        "worker": f"pid{os.getpid()}",
+    }
+
+
+def default_num_workers() -> int:
+    """Default fan-out: one worker per CPU."""
+    return os.cpu_count() or 1
+
+
+def execute_jobs(
+    jobs: Sequence[CellJob],
+    num_workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    checkpoint: Optional[CampaignCheckpoint] = None,
+    resume: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> Dict[str, JobOutcome]:
+    """Resolve every job to a :class:`JobOutcome`, keyed by job key.
+
+    Args:
+        jobs: the campaign's cells (any iteration order).
+        num_workers: process-pool width; ``None`` means one per CPU,
+            ``1`` runs serially in-process.
+        cache: optional on-disk result store consulted before running.
+        checkpoint: optional manifest; every newly resolved cell is
+            recorded immediately (crash-safe).
+        resume: consult the manifest's finished records before
+            scheduling work (requires ``checkpoint``).
+        progress: optional ``progress(done, total)`` callback.
+    """
+    if num_workers is None:
+        num_workers = default_num_workers()
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    total = len(jobs)
+    done = 0
+    outcomes: Dict[str, JobOutcome] = {}
+    completed = checkpoint.completed() if (resume and checkpoint) else {}
+
+    def tick() -> None:
+        if progress is not None:
+            progress(done, total)
+
+    def finish(outcome: JobOutcome, record: bool = True) -> None:
+        nonlocal done
+        outcomes[outcome.job.key] = outcome
+        if outcome.source == "run" and cache is not None:
+            cache.put(
+                outcome.job.config_hash,
+                {
+                    "key": outcome.job.key,
+                    "cell": cell_to_dict(outcome.cell),
+                    "wall_time": outcome.wall_time,
+                    "worker": outcome.worker,
+                },
+            )
+        if record and checkpoint is not None:
+            checkpoint.record_cell(
+                key=outcome.job.key,
+                config_hash=outcome.job.config_hash,
+                cell=cell_to_dict(outcome.cell),
+                wall_time=outcome.wall_time,
+                worker=outcome.worker,
+                source=outcome.source,
+            )
+        done += 1
+        tick()
+
+    # Layer 1 + 2: serve what the manifest and the cache already know.
+    pending: List[CellJob] = []
+    for job in jobs:
+        record = completed.get(job.config_hash)
+        if record is not None:
+            finish(
+                JobOutcome(
+                    job=job,
+                    cell=cell_from_dict(record["cell"]),
+                    wall_time=float(record.get("wall_time", 0.0)),
+                    worker="manifest",
+                    source="resume",
+                ),
+                # Already in the manifest; re-recording would double-count.
+                record=False,
+            )
+            continue
+        payload = cache.get(job.config_hash) if cache is not None else None
+        if payload is not None:
+            finish(
+                JobOutcome(
+                    job=job,
+                    cell=cell_from_dict(payload["cell"]),
+                    wall_time=float(payload.get("wall_time", 0.0)),
+                    worker="cache",
+                    source="cache",
+                )
+            )
+            continue
+        pending.append(job)
+
+    # Layer 3: simulate the rest.
+    if num_workers == 1:
+        for job in pending:
+            result = _execute_payload(job.payload())
+            finish(_outcome_from_result(job, result, worker="serial"))
+    elif pending:
+        _run_pool(pending, num_workers, finish)
+    return outcomes
+
+
+def _outcome_from_result(
+    job: CellJob, result: Dict[str, Any], worker: Optional[str] = None
+) -> JobOutcome:
+    """Rebuild stats shipped by a worker and derive the cell result."""
+    stats = SimulationStats.from_dict(result["stats"])
+    return JobOutcome(
+        job=job,
+        cell=cell_from_stats(stats, job.rate),
+        wall_time=result["wall_time"],
+        worker=worker if worker is not None else result["worker"],
+        source="run",
+    )
+
+
+def _run_pool(
+    pending: Sequence[CellJob],
+    num_workers: int,
+    finish: Callable[[JobOutcome], None],
+) -> None:
+    """Fan pending jobs out over a process pool, finishing out-of-order."""
+    width = min(num_workers, len(pending))
+    executor = ProcessPoolExecutor(max_workers=width)
+    try:
+        futures = {
+            executor.submit(_execute_payload, job.payload()): job
+            for job in pending
+        }
+        not_done = set(futures)
+        while not_done:
+            finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            for future in finished:
+                finish(_outcome_from_result(futures[future], future.result()))
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)

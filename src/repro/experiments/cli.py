@@ -13,10 +13,20 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import shutil
 import sys
 import time
+from pathlib import Path
 
 from repro.analysis.saturation import find_saturation
+from repro.campaign import (
+    CampaignCheckpoint,
+    ResultCache,
+    default_cache_dir,
+    default_num_workers,
+    render_summary,
+    summarize_manifest,
+)
 from repro.experiments.report import render_comparison, render_table
 from repro.experiments.spec import TABLE_SPECS, base_config
 from repro.experiments.tables import (
@@ -26,20 +36,82 @@ from repro.experiments.tables import (
 )
 from repro.traffic.patterns import pattern_names
 
+#: Manifest filename inside a campaign cache directory.
+MANIFEST_NAME = "manifest.jsonl"
 
-def _progress_printer(prefix: str):
-    start = time.time()
 
-    def progress(done: int, total: int) -> None:
-        elapsed = time.time() - start
+class _ProgressPrinter:
+    """Stderr progress line; ``close()`` terminates it even on abort.
+
+    The carriage-return rewriting leaves stderr mid-line unless the run
+    reaches ``done == total``, so commands call :meth:`close` in a
+    ``finally`` block to emit the trailing newline after a Ctrl-C or an
+    exception as well.
+    """
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.start = time.time()
+        self._mid_line = False
+
+    def __call__(self, done: int, total: int) -> None:
+        elapsed = time.time() - self.start
         sys.stderr.write(
-            f"\r{prefix}: {done}/{total} cells ({elapsed:.0f}s elapsed)"
+            f"\r{self.prefix}: {done}/{total} cells ({elapsed:.0f}s elapsed)"
         )
         sys.stderr.flush()
+        self._mid_line = done != total
         if done == total:
             sys.stderr.write("\n")
 
-    return progress
+    def close(self) -> None:
+        if self._mid_line:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+            self._mid_line = False
+
+
+def _progress_printer(prefix: str) -> _ProgressPrinter:
+    return _ProgressPrinter(prefix)
+
+
+def _campaign_options(args: argparse.Namespace):
+    """Resolve (jobs, cache, checkpoint, resume) from campaign flags."""
+    jobs = args.jobs if args.jobs is not None else default_num_workers()
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.resume:
+        cache_dir = default_cache_dir()
+    cache = checkpoint = None
+    if cache_dir is not None:
+        cache = ResultCache(cache_dir)
+        checkpoint = CampaignCheckpoint(
+            Path(cache_dir) / MANIFEST_NAME, fresh=not args.resume
+        )
+    return jobs, cache, checkpoint, args.resume
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="worker processes (default: one per CPU; 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="reuse finished cells from this result cache "
+             f"(default cache location: {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted campaign from its manifest "
+             "(implies --cache-dir's default when none is given)",
+    )
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -49,13 +121,25 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_table(args: argparse.Namespace) -> int:
-    result = regenerate_table(
-        args.table_id,
-        full=args.full or None,
-        seed=args.seed,
-        progress=_progress_printer(f"table {args.table_id}"),
-    )
+    jobs, cache, checkpoint, resume = _campaign_options(args)
+    progress = _progress_printer(f"table {args.table_id}")
+    try:
+        result = regenerate_table(
+            args.table_id,
+            full=args.full or None,
+            seed=args.seed,
+            progress=progress,
+            jobs=jobs,
+            cache=cache,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+    finally:
+        progress.close()
     print(render_table(result))
+    if cache is not None:
+        print(f"\ncache: {cache.hits} hits, {cache.misses} misses "
+              f"({cache.root})", file=sys.stderr)
     if args.out:
         path = save_result(result, args.out)
         print(f"\nwritten to {path}")
@@ -63,29 +147,69 @@ def cmd_table(args: argparse.Namespace) -> int:
 
 
 def cmd_all(args: argparse.Namespace) -> int:
+    jobs, cache, checkpoint, resume = _campaign_options(args)
     for tid in sorted(TABLE_SPECS):
-        result = regenerate_table(
-            tid,
-            full=args.full or None,
-            seed=args.seed,
-            progress=_progress_printer(f"table {tid}"),
-        )
+        progress = _progress_printer(f"table {tid}")
+        try:
+            result = regenerate_table(
+                tid,
+                full=args.full or None,
+                seed=args.seed,
+                progress=progress,
+                jobs=jobs,
+                cache=cache,
+                checkpoint=checkpoint,
+                resume=resume,
+            )
+        finally:
+            progress.close()
         print(render_table(result))
         print()
         if args.out:
             save_result(result, args.out)
+    if cache is not None:
+        print(f"cache: {cache.hits} hits, {cache.misses} misses "
+              f"({cache.root})", file=sys.stderr)
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    result = regenerate_table(
-        args.table_id,
-        full=args.full or None,
-        seed=args.seed,
-        progress=_progress_printer(f"table {args.table_id}"),
-    )
+    jobs, cache, checkpoint, resume = _campaign_options(args)
+    progress = _progress_printer(f"table {args.table_id}")
+    try:
+        result = regenerate_table(
+            args.table_id,
+            full=args.full or None,
+            seed=args.seed,
+            progress=progress,
+            jobs=jobs,
+            cache=cache,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+    finally:
+        progress.close()
     print(render_comparison(result))
     return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    cache_dir = Path(args.cache_dir or default_cache_dir())
+    manifest = cache_dir / MANIFEST_NAME
+    if args.action == "summary":
+        print(f"campaign cache: {cache_dir}")
+        print(render_summary(summarize_manifest(manifest)))
+        cache = ResultCache(cache_dir)
+        print(f"cached results        : {cache.size()}")
+        return 0
+    if args.action == "clear":
+        if cache_dir.is_dir():
+            shutil.rmtree(cache_dir)
+            print(f"removed {cache_dir}")
+        else:
+            print(f"nothing to remove at {cache_dir}")
+        return 0
+    raise ValueError(f"unknown campaign action {args.action!r}")
 
 
 def cmd_latency(args: argparse.Namespace) -> int:
@@ -184,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--full", action="store_true",
                        help="paper-scale grid (512 nodes, all thresholds)")
         p.add_argument("--seed", type=int, default=7)
+        _add_campaign_flags(p)
         if name == "table":
             p.add_argument("--out", default=None,
                            help=f"write txt+json under this directory "
@@ -193,8 +318,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("all", help="regenerate all seven tables")
     p.add_argument("--full", action="store_true")
     p.add_argument("--seed", type=int, default=7)
+    _add_campaign_flags(p)
     p.add_argument("--out", default=None)
     p.set_defaults(func=cmd_all)
+
+    p = sub.add_parser(
+        "campaign",
+        help="inspect or clear the campaign cache and manifest",
+    )
+    p.add_argument("action", choices=("summary", "clear"))
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help=f"campaign cache directory "
+                        f"(default: {default_cache_dir()})")
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("saturation", help="measure a pattern's saturation rate")
     p.add_argument("--pattern", choices=pattern_names(), default="uniform")

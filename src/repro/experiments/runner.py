@@ -135,8 +135,19 @@ def run_table(
     base: SimulationConfig,
     saturation: Optional[float] = None,
     progress=None,
+    *,
+    jobs: int = 1,
+    cache=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> TableResult:
-    """Regenerate one full table.
+    """Regenerate one full table (delegates to the campaign engine).
+
+    The default keyword arguments run every cell serially in-process —
+    the historical sequential behaviour.  ``jobs > 1`` fans the cells
+    out over a process pool; ``cache``/``checkpoint``/``resume`` plug in
+    the campaign engine's result store and manifest (see
+    :mod:`repro.campaign`).  All paths produce bit-identical tables.
 
     Args:
         spec: the table's grid definition.
@@ -144,22 +155,21 @@ def run_table(
         saturation: saturation rate override (flits/cycle/node); defaults
             to the calibrated value for the spec's pattern.
         progress: optional callable ``progress(done, total)``.
+        jobs: worker-process count (1 = serial in-process).
+        cache: optional :class:`repro.campaign.ResultCache`.
+        checkpoint: optional :class:`repro.campaign.CampaignCheckpoint`.
+        resume: reuse finished cells from the checkpoint manifest.
     """
-    if saturation is None:
-        saturation = saturation_rate(base, spec)
-    rates = tuple(round(f * saturation, 4) for f in spec.load_fractions)
-    result = TableResult(spec=spec, rates=rates)
-    total = len(spec.thresholds) * len(rates) * len(spec.sizes)
-    done = 0
-    for threshold in spec.thresholds:
-        row: Dict[Tuple[int, str], CellResult] = {}
-        for load_index, rate in enumerate(rates):
-            for size in spec.sizes:
-                row[(load_index, size)] = run_cell(
-                    base, spec, threshold, size, rate
-                )
-                done += 1
-                if progress is not None:
-                    progress(done, total)
-        result.cells[threshold] = row
-    return result
+    # Imported here: the campaign package depends on this module.
+    from repro.campaign.engine import run_table_campaign
+
+    return run_table_campaign(
+        spec,
+        base,
+        saturation=saturation,
+        num_workers=jobs,
+        cache=cache,
+        checkpoint=checkpoint,
+        resume=resume,
+        progress=progress,
+    )

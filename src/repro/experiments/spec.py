@@ -45,6 +45,25 @@ class TableSpec:
     #: Which load indices the paper annotates as saturated.
     saturated_loads: Tuple[int, ...] = (3,)
 
+    def cell_coords(self) -> Tuple[Tuple[int, int, str], ...]:
+        """Every ``(threshold, load_index, size)`` cell in canonical order.
+
+        This is the single source of truth for grid enumeration: the
+        sequential runner, the campaign job enumerator and the result
+        reassembly all iterate it, so parallel runs rebuild tables in
+        exactly the sequential order.
+        """
+        return tuple(
+            (threshold, load_index, size)
+            for threshold in self.thresholds
+            for load_index in range(len(self.load_fractions))
+            for size in self.sizes
+        )
+
+    def cell_count(self) -> int:
+        """Number of simulations one full run of this table needs."""
+        return len(self.thresholds) * len(self.load_fractions) * len(self.sizes)
+
 
 def _fractions(rates: Tuple[float, ...], sat: float) -> Tuple[float, ...]:
     return tuple(round(r / sat, 3) for r in rates)

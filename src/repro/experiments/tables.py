@@ -38,21 +38,60 @@ def regenerate_table(
     seed: int = 7,
     saturation: Optional[float] = None,
     progress=None,
+    *,
+    jobs: int = 1,
+    cache=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> TableResult:
-    """Run every cell of one paper table and return the result grid."""
+    """Run every cell of one paper table and return the result grid.
+
+    ``jobs``/``cache``/``checkpoint``/``resume`` are forwarded to the
+    campaign engine (see :func:`repro.experiments.runner.run_table`);
+    the defaults reproduce the sequential single-process behaviour.
+    """
     spec = table_spec(table_id, full)
     base = base_config(full)
     base.seed = seed
-    return run_table(spec, base, saturation=saturation, progress=progress)
+    return run_table(
+        spec,
+        base,
+        saturation=saturation,
+        progress=progress,
+        jobs=jobs,
+        cache=cache,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
 
 
 def regenerate_all(
     table_ids: Iterable[int] = range(1, 8),
     full: Optional[bool] = None,
     seed: int = 7,
+    *,
+    jobs: int = 1,
+    cache=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> Dict[int, TableResult]:
-    """Regenerate several tables (all seven by default)."""
-    return {tid: regenerate_table(tid, full=full, seed=seed) for tid in table_ids}
+    """Regenerate several tables (all seven by default).
+
+    When a cache or checkpoint is supplied, every table shares it — one
+    campaign — so overlapping grids reuse each other's cells.
+    """
+    return {
+        tid: regenerate_table(
+            tid,
+            full=full,
+            seed=seed,
+            jobs=jobs,
+            cache=cache,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+        for tid in table_ids
+    }
 
 
 def save_result(result: TableResult, out_dir: str = "results") -> Path:

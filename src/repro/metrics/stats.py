@@ -8,8 +8,9 @@ deadlocked* — is ``detections_measured / injected_measured * 100``.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.network.types import DetectionEvent
 
@@ -68,6 +69,32 @@ class SimulationStats:
 
     # --- event log ----------------------------------------------------------
     detection_events: List[DetectionEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self, include_events: bool = True) -> Dict[str, Any]:
+        """JSON-serializable form of every counter.
+
+        Set ``include_events=False`` to drop the (potentially large)
+        per-detection event log; all derived metrics except
+        :meth:`false_detection_percentage` work on the reloaded stats.
+        The campaign executor uses this lean form to ship results across
+        process boundaries.
+        """
+        payload = dataclasses.asdict(self)
+        if not include_events:
+            del payload["detection_events"]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SimulationStats":
+        """Inverse of :meth:`to_dict` (missing event log -> empty)."""
+        data = dict(payload)
+        events = [
+            DetectionEvent(**e) for e in data.pop("detection_events", [])
+        ]
+        return cls(detection_events=events, **data)
 
     # ------------------------------------------------------------------
     # Derived metrics

@@ -1,0 +1,40 @@
+"""Shared fixtures for the campaign test suite: a tiny 2-threshold grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.spec import TableSpec, base_config
+
+
+def tiny_base():
+    base = base_config(full=False)
+    base.radix = 4
+    base.warmup_cycles = 100
+    base.measure_cycles = 400
+    base.ground_truth_interval = 0
+    return base
+
+
+def tiny_spec(table_id: int = 2, mechanism: str = "ndm") -> TableSpec:
+    return TableSpec(
+        table_id=table_id,
+        title="tiny",
+        mechanism=mechanism,
+        pattern="uniform",
+        sizes=("s",),
+        load_fractions=(0.5, 0.7),
+        paper_rates=(0.3, 0.4),
+        thresholds=(8, 32),
+        saturated_loads=(1,),
+    )
+
+
+@pytest.fixture
+def base():
+    return tiny_base()
+
+
+@pytest.fixture
+def spec():
+    return tiny_spec()

@@ -1,0 +1,139 @@
+"""Tests for campaign job enumeration, hashing and seed derivation."""
+
+import pytest
+
+from repro.campaign.jobs import (
+    CellJob,
+    cell_from_dict,
+    cell_to_dict,
+    config_hash,
+    derive_cell_seed,
+    enumerate_table_jobs,
+    job_key,
+)
+from repro.experiments.runner import CellResult, build_cell_config
+from tests.campaign.conftest import tiny_base, tiny_spec
+
+
+class TestConfigHash:
+    def test_stable_across_instances(self):
+        a = build_cell_config(tiny_base(), tiny_spec(), 8, "s", 0.3)
+        b = build_cell_config(tiny_base(), tiny_spec(), 8, "s", 0.3)
+        assert a is not b
+        assert config_hash(a) == config_hash(b)
+
+    def test_sensitive_to_every_knob(self):
+        base = build_cell_config(tiny_base(), tiny_spec(), 8, "s", 0.3)
+        reference = config_hash(base)
+        for change in (
+            {"seed": 99},
+            {"radix": 8},
+            {"warmup_cycles": 50},
+        ):
+            assert config_hash(base.replace(**change)) != reference
+        threshold = build_cell_config(tiny_base(), tiny_spec(), 32, "s", 0.3)
+        assert config_hash(threshold) != reference
+        rate = build_cell_config(tiny_base(), tiny_spec(), 8, "s", 0.4)
+        assert config_hash(rate) != reference
+
+    def test_hex_sha256(self):
+        digest = config_hash(tiny_base())
+        assert len(digest) == 64
+        int(digest, 16)  # must be valid hex
+
+
+class TestDeriveCellSeed:
+    def test_deterministic(self):
+        assert derive_cell_seed(7, 2, 8, 0, "s") == derive_cell_seed(
+            7, 2, 8, 0, "s"
+        )
+
+    def test_decorrelated_across_cells(self):
+        seeds = {
+            derive_cell_seed(7, 2, th, li, size)
+            for th in (2, 8, 32)
+            for li in (0, 1)
+            for size in ("s", "l")
+        }
+        assert len(seeds) == 12  # no collisions on a small grid
+
+    def test_depends_on_base_seed(self):
+        assert derive_cell_seed(1, 2, 8, 0, "s") != derive_cell_seed(
+            2, 2, 8, 0, "s"
+        )
+
+
+class TestEnumerateTableJobs:
+    def test_canonical_order_and_count(self, spec, base):
+        rates, jobs = enumerate_table_jobs(spec, base, saturation=1.0)
+        assert rates == (0.5, 0.7)
+        assert len(jobs) == spec.cell_count()
+        coords = [(j.threshold, j.load_index, j.size) for j in jobs]
+        assert coords == list(spec.cell_coords())
+
+    def test_jobs_self_describing(self, spec, base):
+        _, jobs = enumerate_table_jobs(spec, base, saturation=1.0)
+        job = jobs[0]
+        assert isinstance(job, CellJob)
+        assert job.key == job_key(spec.table_id, 8, 0, "s")
+        assert job.rate == 0.5
+        assert job.config.traffic.injection_rate == 0.5
+        assert job.config.detector.threshold == 8
+        assert job.config_hash == config_hash(job.config)
+
+    def test_shared_seed_policy_keeps_base_seed(self, spec, base):
+        _, jobs = enumerate_table_jobs(spec, base, 1.0, seed_policy="shared")
+        assert {j.config.seed for j in jobs} == {base.seed}
+
+    def test_per_cell_seed_policy_decorrelates(self, spec, base):
+        _, jobs = enumerate_table_jobs(spec, base, 1.0, seed_policy="per-cell")
+        seeds = {j.config.seed for j in jobs}
+        assert len(seeds) == len(jobs)
+        # and deterministically so
+        _, again = enumerate_table_jobs(spec, base, 1.0, seed_policy="per-cell")
+        assert [j.config.seed for j in jobs] == [j.config.seed for j in again]
+
+    def test_unknown_seed_policy_rejected(self, spec, base):
+        with pytest.raises(ValueError, match="seed policy"):
+            enumerate_table_jobs(spec, base, 1.0, seed_policy="chaos")
+
+    def test_payload_round_trips_config(self, spec, base):
+        from repro.network.config import SimulationConfig
+
+        _, jobs = enumerate_table_jobs(spec, base, 1.0)
+        payload = jobs[0].payload()
+        rebuilt = SimulationConfig.from_dict(payload["config"])
+        assert config_hash(rebuilt) == jobs[0].config_hash
+
+
+class TestCellSerialization:
+    def test_round_trip_exact(self):
+        cell = CellResult(
+            percentage=1.2345678901234567,
+            detections=5,
+            messages_detected=4,
+            true_detections=1,
+            false_detections=3,
+            injected=1000,
+            throughput=0.123456789,
+            injection_rate=0.4321,
+            had_true_deadlock=True,
+        )
+        assert cell_from_dict(cell_to_dict(cell)) == cell
+
+    def test_json_round_trip_exact(self):
+        import json
+
+        cell = CellResult(
+            percentage=100.0 * 7 / 1234,
+            detections=7,
+            messages_detected=7,
+            true_detections=0,
+            false_detections=7,
+            injected=1234,
+            throughput=5678 / (400 * 16),
+            injection_rate=0.3,
+            had_true_deadlock=False,
+        )
+        wire = json.loads(json.dumps(cell_to_dict(cell)))
+        assert cell_from_dict(wire) == cell

@@ -27,7 +27,7 @@ def patched(monkeypatch):
     calls = []
 
     def fake_regenerate(table_id, full=None, seed=7, saturation=None,
-                        progress=None):
+                        progress=None, **campaign_kwargs):
         calls.append(table_id)
         if progress:
             progress(1, 1)
@@ -123,3 +123,136 @@ class TestLatencyCommand:
         out = capsys.readouterr().out
         assert "offered" in out
         assert "accepted" in out
+
+
+class TestProgressPrinter:
+    def test_completed_run_ends_line(self, capsys):
+        progress = cli._progress_printer("t")
+        progress(1, 2)
+        progress(2, 2)
+        progress.close()
+        err = capsys.readouterr().err
+        assert err.endswith("\n")
+        assert err.count("\n") == 1  # close() after completion adds nothing
+
+    def test_aborted_run_gets_trailing_newline(self, capsys):
+        progress = cli._progress_printer("t")
+        progress(1, 3)  # run dies here (Ctrl-C / exception)
+        progress.close()
+        err = capsys.readouterr().err
+        assert err.endswith("\n")
+
+    def test_close_idempotent(self, capsys):
+        progress = cli._progress_printer("t")
+        progress(1, 3)
+        progress.close()
+        progress.close()
+        assert capsys.readouterr().err.count("\n") == 1
+
+    def test_abort_newline_reaches_stderr_from_command(self, monkeypatch,
+                                                       capsys):
+        def exploding_regenerate(table_id, progress=None, **kwargs):
+            progress(1, 4)
+            raise RuntimeError("boom mid-table")
+
+        monkeypatch.setattr(cli, "regenerate_table", exploding_regenerate)
+        with pytest.raises(RuntimeError, match="boom"):
+            cli.main(["table", "2"])
+        assert capsys.readouterr().err.endswith("\n")
+
+
+class TestCampaignFlags:
+    def test_flags_forwarded_to_regenerate(self, monkeypatch, tmp_path):
+        seen = {}
+
+        def spy(table_id, full=None, seed=7, progress=None, **kwargs):
+            seen.update(kwargs, table_id=table_id)
+            return fake_result(table_id)
+
+        monkeypatch.setattr(cli, "regenerate_table", spy)
+        assert cli.main(["table", "2", "--jobs", "3",
+                         "--cache-dir", str(tmp_path), "--resume"]) == 0
+        assert seen["jobs"] == 3
+        assert seen["resume"] is True
+        assert str(seen["cache"].root) == str(tmp_path)
+        assert seen["checkpoint"].path == tmp_path / cli.MANIFEST_NAME
+
+    def test_default_jobs_is_cpu_count(self, monkeypatch):
+        seen = {}
+
+        def spy(table_id, full=None, seed=7, progress=None, **kwargs):
+            seen.update(kwargs)
+            return fake_result(table_id)
+
+        monkeypatch.setattr(cli, "regenerate_table", spy)
+        assert cli.main(["table", "2"]) == 0
+        import os
+        assert seen["jobs"] == (os.cpu_count() or 1)
+        assert seen["cache"] is None
+        assert seen["checkpoint"] is None
+
+    def test_resume_without_cache_dir_uses_default(self, monkeypatch,
+                                                   tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "dflt"))
+        seen = {}
+
+        def spy(table_id, full=None, seed=7, progress=None, **kwargs):
+            seen.update(kwargs)
+            return fake_result(table_id)
+
+        monkeypatch.setattr(cli, "regenerate_table", spy)
+        assert cli.main(["table", "2", "--resume"]) == 0
+        assert str(seen["cache"].root) == str(tmp_path / "dflt")
+
+    def test_fresh_run_truncates_manifest(self, monkeypatch, tmp_path):
+        manifest = tmp_path / cli.MANIFEST_NAME
+        manifest.write_text('{"kind": "campaign", "table_id": 2, "total": 1}\n')
+
+        monkeypatch.setattr(
+            cli, "regenerate_table",
+            lambda table_id, full=None, seed=7, progress=None, **kw:
+                fake_result(table_id),
+        )
+        assert cli.main(["table", "2", "--cache-dir", str(tmp_path)]) == 0
+        assert not manifest.exists() or manifest.read_text() == ""
+
+
+class TestCampaignCommand:
+    def test_summary_empty(self, tmp_path, capsys):
+        assert cli.main(["campaign", "summary",
+                         "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "empty" in out
+        assert "cached results" in out
+
+    def test_summary_reports_manifest(self, tmp_path, capsys):
+        from repro.campaign import CampaignCheckpoint
+
+        ck = CampaignCheckpoint(tmp_path / cli.MANIFEST_NAME)
+        ck.start(table_id=2, total=1)
+        ck.record_cell(key="table2/th8/load0/s", config_hash="a" * 64,
+                       cell={"percentage": 0.0}, wall_time=0.5,
+                       worker="serial", source="run")
+        assert cli.main(["campaign", "summary",
+                         "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cells completed       : 1" in out
+        assert "table2=1" in out
+
+    def test_clear_removes_cache_dir(self, tmp_path, capsys):
+        target = tmp_path / "cache"
+        target.mkdir()
+        (target / "junk.json").write_text("{}")
+        assert cli.main(["campaign", "clear",
+                         "--cache-dir", str(target)]) == 0
+        assert not target.exists()
+
+    def test_clear_missing_dir_is_noop(self, tmp_path, capsys):
+        assert cli.main(["campaign", "clear",
+                         "--cache-dir", str(tmp_path / "none")]) == 0
+        assert "nothing to remove" in capsys.readouterr().out
+
+    def test_nonpositive_jobs_rejected_cleanly(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["table", "2", "--jobs", "0"])
+        assert "must be >= 1" in capsys.readouterr().err

@@ -87,3 +87,58 @@ class TestSummary:
 
     def test_summary_handles_empty_run(self):
         assert "n/a" in SimulationStats().summary()
+
+
+class TestSerialization:
+    def full_stats(self) -> SimulationStats:
+        stats = make_stats(
+            injected_measured=1000,
+            flits_delivered_measured=5678,
+            messages_detected_measured=10,
+            detections_measured=30,
+            true_detections=3,
+            false_detections=7,
+            latency_sum=12345,
+            latency_count=100,
+        )
+        stats.detection_events.append(
+            DetectionEvent(cycle=1200, message_id=42, node=7,
+                           mechanism="ndm", truly_deadlocked=True)
+        )
+        stats.detection_events.append(
+            DetectionEvent(cycle=1300, message_id=43, node=8,
+                           mechanism="ndm", truly_deadlocked=None)
+        )
+        return stats
+
+    def test_round_trip_exact(self):
+        stats = self.full_stats()
+        rebuilt = SimulationStats.from_dict(stats.to_dict())
+        assert rebuilt == stats
+
+    def test_round_trip_through_json(self):
+        import json
+
+        stats = self.full_stats()
+        wire = json.loads(json.dumps(stats.to_dict()))
+        rebuilt = SimulationStats.from_dict(wire)
+        assert rebuilt == stats
+        assert rebuilt.detection_events[0].truly_deadlocked is True
+        assert rebuilt.detection_events[1].truly_deadlocked is None
+
+    def test_lean_form_drops_events_only(self):
+        stats = self.full_stats()
+        lean = stats.to_dict(include_events=False)
+        assert "detection_events" not in lean
+        rebuilt = SimulationStats.from_dict(lean)
+        assert rebuilt.detection_events == []
+        # every derived metric the tables need survives the lean trip
+        assert rebuilt.detection_percentage() == stats.detection_percentage()
+        assert rebuilt.throughput() == stats.throughput()
+        assert rebuilt.had_true_deadlock() == stats.had_true_deadlock()
+        assert rebuilt.average_latency() == stats.average_latency()
+
+    def test_payload_is_json_serializable(self):
+        import json
+
+        json.dumps(self.full_stats().to_dict())  # must not raise

@@ -110,3 +110,75 @@ class TestSimulatorIntegration:
         assert sim.tracer is None
         for _ in range(100):
             sim.step()  # must not raise
+
+
+class TestEvictionAndFiltering:
+    """Bounded-capacity eviction and kinds-whitelist behaviour in depth."""
+
+    def test_eviction_keeps_newest_in_order(self):
+        tracer = Tracer(capacity=4)
+        for i in range(10):
+            tracer.record(("inject", i, i, 0))
+        assert [e[1] for e in tracer.events] == [6, 7, 8, 9]
+        assert tracer.dropped == 6
+
+    def test_filtered_events_do_not_consume_capacity(self):
+        tracer = Tracer(capacity=2, kinds=["detect"])
+        for i in range(50):
+            tracer.record(("inject", i, i, 0))  # all filtered out
+        tracer.record(("detect", 100, 1, 0, "ndm"))
+        tracer.record(("detect", 101, 2, 0, "ndm"))
+        assert len(tracer) == 2
+        assert tracer.dropped == 0  # filtering is not dropping
+
+    def test_filtered_events_not_counted_as_dropped(self):
+        tracer = Tracer(capacity=1, kinds=["deliver"])
+        tracer.record(("inject", 1, 1, 0))
+        tracer.record(("deliver", 2, 1, 3))
+        tracer.record(("deliver", 3, 2, 4))  # evicts the first deliver
+        assert tracer.dropped == 1
+        assert tracer.events[0][1] == 3
+
+    def test_multi_kind_whitelist(self):
+        tracer = Tracer(kinds=("inject", "deliver"))
+        tracer.record(("inject", 1, 1, 0))
+        tracer.record(("route", 2, 1, 0, 3))
+        tracer.record(("block", 3, 1, 0))
+        tracer.record(("deliver", 4, 1, 2))
+        assert [e[0] for e in tracer.events] == ["inject", "deliver"]
+
+    def test_queries_after_eviction(self):
+        tracer = Tracer(capacity=3)
+        tracer.record(("inject", 0, 7, 0))  # will be evicted
+        tracer.record(("route", 1, 7, 0, 2))
+        tracer.record(("block", 2, 7, 0))
+        tracer.record(("deliver", 3, 7, 1))
+        assert tracer.count("inject") == 0
+        assert tracer.lifecycle(7) == ["route", "block", "deliver"]
+
+    def test_clear_resets_dropped(self):
+        tracer = Tracer(capacity=1)
+        tracer.record(("inject", 0, 0, 0))
+        tracer.record(("inject", 1, 1, 0))
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert tracer.dropped == 0
+        tracer.record(("inject", 2, 2, 0))
+        assert len(tracer) == 1
+
+    def test_simulator_with_kind_filter_records_subset(self):
+        full = traced_run()
+        filtered = traced_run(kinds=["deliver"])
+        assert filtered.tracer.count("deliver") > 0
+        assert filtered.tracer.count("inject") == 0
+        assert filtered.tracer.count("route") == 0
+        # same workload/seed: the filtered trace sees every delivery
+        assert filtered.tracer.count("deliver") == full.tracer.count("deliver")
+
+    def test_simulator_with_bounded_capacity(self):
+        sim = traced_run(capacity=16)
+        assert len(sim.tracer) == 16
+        assert sim.tracer.dropped > 0
+        # retained tail is the most recent slice, still in cycle order
+        cycles = [e[1] for e in sim.tracer.events]
+        assert cycles == sorted(cycles)
