@@ -1,0 +1,140 @@
+"""Engine benchmark report: scan vs event on a saturated network.
+
+Runs the acceptance configuration — an 8x8 torus driven well beyond
+saturation with NDM detection (t2=32) and no recovery, the regime the
+event engine exists for — under both engines and writes a
+``BENCH_engines.json`` report with cycles/second, per-phase wall times
+and the engine work counters.  A second, flowing configuration (recovery
+enabled) is included for context: most movement visits there are genuine
+flit work, so the speedup is structurally smaller.
+
+Standalone on purpose (no pytest-benchmark): CI runs it directly and
+uploads the JSON as an artifact.
+
+    PYTHONPATH=src python benchmarks/perf_report.py [output-dir]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.network.config import SimulationConfig
+from repro.network.simulator import Simulator
+
+#: The acceptance bar from the event-engine change: at least this factor
+#: between engines on the saturated configuration.
+TARGET_SPEEDUP = 1.5
+
+CONFIGS = {
+    "saturated-ndm-8x8": dict(
+        radix=8,
+        dimensions=2,
+        vcs_per_channel=2,
+        warmup_cycles=0,
+        measure_cycles=4000,
+        seed=11,
+        recovery="none",
+        mechanism="ndm",
+        threshold=32,
+        injection_rate=0.8,
+    ),
+    "flowing-ndm-8x8": dict(
+        radix=8,
+        dimensions=2,
+        vcs_per_channel=3,
+        warmup_cycles=0,
+        measure_cycles=3000,
+        seed=11,
+        recovery="progressive",
+        mechanism="ndm",
+        threshold=32,
+        injection_rate=0.5,
+    ),
+}
+
+
+def build_config(spec: dict, engine: str) -> SimulationConfig:
+    spec = dict(spec)
+    mechanism = spec.pop("mechanism")
+    threshold = spec.pop("threshold")
+    injection_rate = spec.pop("injection_rate")
+    config = SimulationConfig(engine=engine, ground_truth_interval=0, **spec)
+    config.detector.mechanism = mechanism
+    config.detector.threshold = threshold
+    config.traffic.injection_rate = injection_rate
+    return config
+
+
+def time_run(config: SimulationConfig) -> dict:
+    sim = Simulator(config)
+    start = time.perf_counter()
+    stats = sim.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "engine": config.engine,
+        "cycles": stats.cycles_run,
+        "seconds": round(elapsed, 4),
+        "cycles_per_second": round(stats.cycles_run / elapsed, 1),
+        "phase_time": {k: round(v, 4) for k, v in stats.phase_time.items()},
+        "engine_counters": dict(stats.engine_counters),
+        "delivered": stats.delivered,
+        "detections": stats.detections,
+    }
+
+
+def benchmark_config(name: str, spec: dict) -> dict:
+    runs = {}
+    for engine in ("scan", "event"):
+        config = build_config(spec, engine)
+        time_run(config)  # warm caches/allocator; discard the first run
+        runs[engine] = time_run(config)
+    speedup = (
+        runs["event"]["cycles_per_second"] / runs["scan"]["cycles_per_second"]
+    )
+    return {
+        "config": spec,
+        "runs": runs,
+        "speedup": round(speedup, 3),
+    }
+
+
+def main(argv) -> int:
+    out_dir = Path(argv[1]) if len(argv) > 1 else Path("results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    report = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "target_speedup": TARGET_SPEEDUP,
+        "benchmarks": {},
+    }
+    for name, spec in CONFIGS.items():
+        print(f"benchmarking {name} ...", flush=True)
+        result = benchmark_config(name, spec)
+        report["benchmarks"][name] = result
+        for engine in ("scan", "event"):
+            run = result["runs"][engine]
+            print(
+                f"  {engine:>5}: {run['cycles_per_second']:>10.1f} cycles/s "
+                f"({run['seconds']}s for {run['cycles']} cycles)"
+            )
+        print(f"  speedup: {result['speedup']}x")
+    path = out_dir / "BENCH_engines.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"wrote {path}")
+    headline = report["benchmarks"]["saturated-ndm-8x8"]["speedup"]
+    if headline < TARGET_SPEEDUP:
+        print(
+            f"WARNING: saturated speedup {headline}x below the "
+            f"{TARGET_SPEEDUP}x target",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

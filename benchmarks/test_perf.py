@@ -62,3 +62,43 @@ def test_low_load_cycles(benchmark):
     """Idle-ish network: the per-cycle cost should scale with activity."""
     sim = make_sim(rate=0.05)
     benchmark(step_n, sim, 100)
+
+
+# ----------------------------------------------------------------------
+# Engine comparison: the event engine's reason to exist is saturation
+# ----------------------------------------------------------------------
+def make_saturated_sim(engine, rate=0.8, vcs=2, recovery="none"):
+    """8x8 torus beyond saturation: most worms blocked most of the time."""
+    config = SimulationConfig(
+        radix=8,
+        dimensions=2,
+        vcs_per_channel=vcs,
+        warmup_cycles=0,
+        measure_cycles=10,
+        seed=11,
+        recovery=recovery,
+        engine=engine,
+        ground_truth_interval=0,
+    )
+    config.traffic.injection_rate = rate
+    config.detector.mechanism = "ndm"
+    config.detector.threshold = 32
+    sim = Simulator(config)
+    for _ in range(400):  # let the congestion build before timing
+        sim.step()
+    return sim
+
+
+@pytest.mark.parametrize("engine", ["scan", "event"])
+def test_saturated_cycles_by_engine(benchmark, engine):
+    """100 saturated cycles; the event engine should win decisively here."""
+    sim = make_saturated_sim(engine)
+    benchmark(step_n, sim, 100)
+
+
+@pytest.mark.parametrize("engine", ["scan", "event"])
+def test_flowing_cycles_by_engine(benchmark, engine):
+    """100 flowing congested cycles; parking buys little when most visits
+    move real flits — this pins the event engine's overhead bound."""
+    sim = make_saturated_sim(engine, rate=0.5, vcs=3, recovery="progressive")
+    benchmark(step_n, sim, 100)

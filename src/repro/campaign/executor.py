@@ -25,7 +25,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.campaign.cache import ResultCache
@@ -51,6 +51,10 @@ class JobOutcome:
     worker: str
     #: ``"run"``, ``"cache"`` or ``"resume"``.
     source: str
+    #: Simulation engine the cell ran under ("" for pre-engine records).
+    engine: str = ""
+    #: Wall seconds per simulator phase (empty for pre-engine records).
+    phase_time: Dict[str, float] = field(default_factory=dict)
 
 
 def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -120,6 +124,8 @@ def execute_jobs(
                     "cell": cell_to_dict(outcome.cell),
                     "wall_time": outcome.wall_time,
                     "worker": outcome.worker,
+                    "engine": outcome.engine,
+                    "phase_time": outcome.phase_time,
                 },
             )
         if record and checkpoint is not None:
@@ -130,6 +136,8 @@ def execute_jobs(
                 wall_time=outcome.wall_time,
                 worker=outcome.worker,
                 source=outcome.source,
+                engine=outcome.engine,
+                phase_time=outcome.phase_time,
             )
         done += 1
         tick()
@@ -146,6 +154,8 @@ def execute_jobs(
                     wall_time=float(record.get("wall_time", 0.0)),
                     worker="manifest",
                     source="resume",
+                    engine=record.get("engine", ""),
+                    phase_time=record.get("phase_time", {}),
                 ),
                 # Already in the manifest; re-recording would double-count.
                 record=False,
@@ -160,6 +170,8 @@ def execute_jobs(
                     wall_time=float(payload.get("wall_time", 0.0)),
                     worker="cache",
                     source="cache",
+                    engine=payload.get("engine", ""),
+                    phase_time=payload.get("phase_time", {}),
                 )
             )
             continue
@@ -186,6 +198,8 @@ def _outcome_from_result(
         wall_time=result["wall_time"],
         worker=worker if worker is not None else result["worker"],
         source="run",
+        engine=stats.engine,
+        phase_time=dict(stats.phase_time),
     )
 
 

@@ -21,7 +21,7 @@ Hook call sites (see ``repro.network.simulator``):
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, List
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from repro.network.channel import VirtualChannel
 from repro.network.message import Message
@@ -40,6 +40,15 @@ class DeadlockDetector:
     #: Whether ``periodic_check`` does anything (lets the simulator skip
     #: the per-cycle call for header-side mechanisms).
     needs_periodic_check = False
+
+    #: Whether blocked messages may be parked between routing attempts
+    #: under the event-driven engine.  Requires ``on_blocked_attempt`` on
+    #: subsequent attempts to be free of side effects and its outcome to
+    #: be predictable via :meth:`blocked_deadline` plus the simulator's
+    #: wakeup events.  Mechanisms with per-attempt state (e.g. the
+    #: ndm-precise witness) must set this to False; their messages then
+    #: re-attempt every cycle exactly as under the reference engine.
+    can_sleep_blocked = True
 
     def __init__(self, threshold: int):
         if threshold < 1:
@@ -63,6 +72,21 @@ class DeadlockDetector:
         header and ``message.feasible_pcs`` the cached feasible outputs.
         """
         return False
+
+    def blocked_deadline(self, message: Message, cycle: int) -> Optional[int]:
+        """Earliest cycle a *future* ``on_blocked_attempt`` could mark
+        ``message``, assuming no further network events.
+
+        Contract for the event-driven engine (``engine="event"``): between
+        ``cycle`` and the returned deadline the detector must not detect
+        the message unless one of the simulator's wakeup events fires (a
+        lane freeing or an inactivity counter resuming on a feasible
+        channel, or a G/P promotion on the input channel).  ``None`` means
+        detection is impossible without such an event.  The default is
+        correct for detectors whose ``on_blocked_attempt`` never returns
+        True on subsequent attempts (none, source-age, injection-stall).
+        """
+        return None
 
     def on_message_routed(self, message: Message, cycle: int) -> None:
         """``message``'s header was granted an output virtual channel."""

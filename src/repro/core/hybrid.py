@@ -21,6 +21,8 @@ makes that guarantee robust to heuristic corner cases).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.ndm import NewDetectionMechanism
 from repro.network.message import Message
 from repro.network.router import Router
@@ -59,6 +61,16 @@ class HybridDetection(NewDetectionMechanism):
             self.fallback_detections += 1
             return True
         return False
+
+    def blocked_deadline(self, message: Message, cycle: int) -> Optional[int]:
+        """NDM deadline capped by the (exact) fallback timeout."""
+        ndm = super().blocked_deadline(message, cycle)
+        if message.blocked_since is None:
+            return ndm
+        fallback = message.blocked_since + self.fallback_threshold + 1
+        if ndm is None or fallback < ndm:
+            return fallback
+        return ndm
 
     def describe(self) -> str:
         return (

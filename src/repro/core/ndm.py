@@ -38,7 +38,7 @@ Protocol, exactly as described in the paper:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.detector import DeadlockDetector
 from repro.network.channel import PhysicalChannel, VirtualChannel
@@ -128,11 +128,34 @@ class NewDetectionMechanism(DeadlockDetector):
             if pc.inactivity(cycle) <= t1:
                 # A message is advancing across this output: it may be the
                 # root of the tree of blocked messages.
-                input_pc.gp = _G
+                self._promote(input_pc)
                 return
         # Every requested channel is held by an already-blocked message:
         # the current message is not waiting on the root.
         input_pc.gp = _P
+
+    def blocked_deadline(self, message: Message, cycle: int) -> Optional[int]:
+        """Earliest cycle the G + all-DT predicate can first hold.
+
+        With ``gp == P`` detection is impossible until a promotion (which
+        wakes the parked header); with ``gp == G`` it needs every feasible
+        output's inactivity to exceed t2, so the binding constraint is the
+        *latest* per-channel crossing.  A channel frozen at or below t2
+        pushes the deadline to "never" — its counter resumes only on a
+        re-occupation, which is itself a wakeup event.
+        """
+        input_pc = message.input_pc
+        if input_pc is None or input_pc.gp is not _G:
+            return None
+        t2 = self.threshold
+        deadline = cycle + 1
+        for pc in message.feasible_pcs:
+            d = pc.inactivity_deadline(t2)
+            if d is None:
+                return None
+            if d > deadline:
+                deadline = d
+        return deadline
 
     # ------------------------------------------------------------------
     # G/P resets and promotions
@@ -159,15 +182,29 @@ class NewDetectionMechanism(DeadlockDetector):
         if self.selective_promotion:
             if pc.waiters:
                 for input_pc in pc.waiters:
-                    input_pc.gp = _G
+                    self._promote(input_pc)
             return
         # Simple implementation from the paper: change all P flags in the
         # router that owns this output channel to G.
         router = self.sim.routers[pc.src_node]
         for input_pc in router.input_pcs:
-            input_pc.gp = _G
+            self._promote(input_pc)
         for input_pc in router.injection_pcs:
-            input_pc.gp = _G
+            self._promote(input_pc)
+
+    @staticmethod
+    def _promote(input_pc: PhysicalChannel) -> None:
+        """Set an input channel's flag to G, waking parked headers on a
+        P -> G transition (their detection predicate may now hold)."""
+        if input_pc.gp is _G:
+            return
+        input_pc.gp = _G
+        if input_pc.header_waiters:
+            box = input_pc.wake_box
+            for m in input_pc.header_waiters:
+                if m.route_asleep:
+                    m.route_asleep = False
+                    box[0] -= 1
 
     # ------------------------------------------------------------------
     # Selective-promotion bookkeeping

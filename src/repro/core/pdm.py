@@ -18,6 +18,8 @@ Drawbacks the paper demonstrates (and our benchmarks reproduce):
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.detector import DeadlockDetector
 from repro.network.message import Message
 from repro.network.router import Router
@@ -38,3 +40,15 @@ class PreviousDetectionMechanism(DeadlockDetector):
             if pc.inactivity(cycle) <= threshold:
                 return False
         return True
+
+    def blocked_deadline(self, message: Message, cycle: int) -> Optional[int]:
+        """All-IF detection first holds at the latest per-channel crossing."""
+        threshold = self.threshold
+        deadline = cycle + 1
+        for pc in message.feasible_pcs:
+            d = pc.inactivity_deadline(threshold)
+            if d is None:
+                return None
+            if d > deadline:
+                deadline = d
+        return deadline

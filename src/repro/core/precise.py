@@ -37,6 +37,10 @@ class PreciseNDM(DeadlockDetector):
 
     name = "ndm-precise"
 
+    #: Every attempt may record a witness (per-attempt side effect), so
+    #: blocked messages must keep re-routing each cycle under both engines.
+    can_sleep_blocked = False
+
     def __init__(self, threshold: int):
         super().__init__(threshold)
         # message id -> cycle at which it witnessed a non-blocked holder

@@ -19,7 +19,7 @@ timeouts by roughly 10x in false detections, and NDM gains another 10x.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from repro.core.detector import DeadlockDetector
 from repro.network.message import Message
@@ -38,6 +38,12 @@ class HeaderBlockedTimeout(DeadlockDetector):
         if message.blocked_since is None:
             return False
         return cycle - message.blocked_since > self.threshold
+
+    def blocked_deadline(self, message: Message, cycle: int) -> Optional[int]:
+        """The timeout depends only on the blocking instant — exact."""
+        if message.blocked_since is None:
+            return None
+        return message.blocked_since + self.threshold + 1
 
 
 class SourceAgeTimeout(DeadlockDetector):

@@ -70,21 +70,46 @@ class SimulationStats:
     # --- event log ----------------------------------------------------------
     detection_events: List[DetectionEvent] = field(default_factory=list)
 
+    # --- engine telemetry ---------------------------------------------------
+    # Wall-clock and work counters of the simulation engine itself.  These
+    # describe *how* the run was computed, not what it simulated: they
+    # legitimately differ between the event-driven and reference engines
+    # (and across hosts), so equivalence checks compare
+    # ``to_dict(include_perf=False)``.
+    #: Engine that produced the run ("event" or "scan").
+    engine: str = ""
+    #: Wall-clock seconds per simulation phase (routing, movement, ...).
+    phase_time: Dict[str, float] = field(default_factory=dict)
+    #: Engine work counters: routing attempts vs parked skips, movement
+    #: visits vs parked skips, parks and deadline wakeups.
+    engine_counters: Dict[str, int] = field(default_factory=dict)
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def to_dict(self, include_events: bool = True) -> Dict[str, Any]:
+    #: Field names describing engine execution rather than simulated
+    #: behaviour (see the "engine telemetry" section above).
+    PERF_FIELDS = ("engine", "phase_time", "engine_counters")
+
+    def to_dict(
+        self, include_events: bool = True, include_perf: bool = True
+    ) -> Dict[str, Any]:
         """JSON-serializable form of every counter.
 
         Set ``include_events=False`` to drop the (potentially large)
         per-detection event log; all derived metrics except
         :meth:`false_detection_percentage` work on the reloaded stats.
         The campaign executor uses this lean form to ship results across
-        process boundaries.
+        process boundaries.  ``include_perf=False`` additionally drops
+        the engine telemetry, leaving exactly the simulated behaviour —
+        the form compared by the engine-equivalence tests.
         """
         payload = dataclasses.asdict(self)
         if not include_events:
             del payload["detection_events"]
+        if not include_perf:
+            for name in self.PERF_FIELDS:
+                del payload[name]
         return payload
 
     @classmethod

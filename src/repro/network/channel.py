@@ -113,6 +113,9 @@ class PhysicalChannel:
         "i_threshold",
         "on_i_reset",
         "waiters",
+        "route_waiters",
+        "header_waiters",
+        "wake_box",
         "_frozen_inactivity",
     )
 
@@ -144,6 +147,19 @@ class PhysicalChannel:
         # Input channels whose blocked header waits on this output channel;
         # maintained only when the selective G/P promotion variant is active.
         self.waiters: Optional[set] = None
+        # Event-driven quiescence (see repro.network.simulator): parked
+        # messages whose feasible set contains this output channel.  They
+        # are woken — route_asleep cleared — whenever a lane frees or the
+        # channel's inactivity counter resumes from a frozen value (both
+        # can only make routing or detection possible *earlier*).
+        self.route_waiters: Optional[set] = None
+        # Parked messages whose header sits on this (input) channel; woken
+        # by a G/P Propagate->Generate promotion (see repro.core.ndm).
+        self.header_waiters: Optional[set] = None
+        # One-element list shared with the simulator, counting messages
+        # currently parked for routing; every wake site decrements it so
+        # the routing phase knows when its whole pending list is asleep.
+        self.wake_box: Optional[list] = None
         # Counter value latched when the channel became fully unoccupied;
         # the hardware register keeps its value across unoccupied gaps.
         self._frozen_inactivity = 0
@@ -157,6 +173,14 @@ class PhysicalChannel:
             # Resume the counter from its frozen value: the virtual start
             # is back-dated so inactivity(cycle) == frozen value now.
             self.active_since = cycle - self._frozen_inactivity
+            # The counter starts advancing again, so a parked waiter's
+            # detection deadline may now be reachable: wake them all.
+            if self.route_waiters:
+                box = self.wake_box
+                for m in self.route_waiters:
+                    if m.route_asleep:
+                        m.route_asleep = False
+                        box[0] -= 1
         self.occupied_count += 1
 
     def note_released(self, cycle: int) -> None:
@@ -169,6 +193,13 @@ class PhysicalChannel:
             if self.active_since > start:
                 start = self.active_since
             self._frozen_inactivity = cycle - start
+        # A freed lane may let a parked header route on its next attempt.
+        if self.route_waiters:
+            box = self.wake_box
+            for m in self.route_waiters:
+                if m.route_asleep:
+                    m.route_asleep = False
+                    box[0] -= 1
 
     # ------------------------------------------------------------------
     # Monitor
@@ -184,6 +215,25 @@ class PhysicalChannel:
         if self.active_since > start:
             start = self.active_since
         return cycle - start
+
+    def inactivity_deadline(self, threshold: int) -> Optional[int]:
+        """First cycle at which ``inactivity(cycle) > threshold`` can hold.
+
+        Assumes no further events on this channel: the returned cycle is a
+        *lower bound* on the real crossing (a flit transmission only pushes
+        it later; occupancy transitions wake the waiters that cached it).
+        Returns ``None`` when the counter is frozen at or below the
+        threshold — it cannot cross until the channel is re-occupied.
+        A value in the past means the threshold is already exceeded.
+        """
+        if self.occupied_count == 0:
+            if self._frozen_inactivity > threshold:
+                return NEVER  # frozen above threshold: holds at any cycle
+            return None
+        start = self.last_flit_cycle
+        if self.active_since > start:
+            start = self.active_since
+        return start + threshold + 1
 
     def record_flit(self, cycle: int) -> None:
         """Account for one flit crossing the channel at ``cycle``.

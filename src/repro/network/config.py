@@ -106,6 +106,16 @@ class SimulationConfig:
     #: (abort-and-retry at the source) or "none".
     recovery: str = "progressive"
 
+    # --- simulation engine ----------------------------------------------
+    #: ``"event"`` (default) parks fully blocked messages and frozen worms
+    #: between wakeup events — VC releases, inactivity-counter resumes,
+    #: G/P promotions, detection deadlines — instead of re-scanning them
+    #: every cycle; ``"scan"`` is the reference per-cycle scan.  Both
+    #: engines produce bit-identical runs (asserted by
+    #: ``tests/network/test_engine_equivalence.py``); "event" is much
+    #: faster at and beyond saturation.
+    engine: str = "event"
+
     # --- run control ------------------------------------------------------
     seed: int = 1
     warmup_cycles: int = 1000
@@ -157,6 +167,10 @@ class SimulationConfig:
             raise ValueError("warmup_cycles >= 0 and measure_cycles >= 1 required")
         if self.detector.threshold < 1:
             raise ValueError("detector threshold must be >= 1")
+        if self.engine not in ("event", "scan"):
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose 'event' or 'scan'"
+            )
         if self.recovery not in (
             "progressive",
             "progressive-reinject",

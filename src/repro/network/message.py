@@ -69,6 +69,9 @@ class Message:
         "in_active",
         "ever_injected",
         "times_detected",
+        "route_asleep",
+        "move_asleep",
+        "wait_registered",
     )
 
     def __init__(
@@ -118,6 +121,15 @@ class Message:
         # re-detected after recovery re-injection; the paper's tables count
         # messages, so stats track first detections separately).
         self.times_detected = 0
+        # Event-driven quiescence state (see repro.network.simulator).  A
+        # parked message/worm is skipped by the routing/movement scans until
+        # a wakeup event clears the flag; both stay False under the
+        # reference per-cycle-scan engine.
+        self.route_asleep = False
+        self.move_asleep = False
+        # Whether this blocked header is registered in the waiter sets of
+        # its feasible output channels (and its input channel).
+        self.wait_registered = False
 
     # ------------------------------------------------------------------
     # Position queries
@@ -159,11 +171,18 @@ class Message:
     # State resets
     # ------------------------------------------------------------------
     def reset_routing_state(self) -> None:
-        """Clear per-router blocking bookkeeping after the header advances."""
+        """Clear per-router blocking bookkeeping after the header advances.
+
+        Callers that registered the message in channel waiter sets must
+        unregister it *before* this call (it clears ``feasible_pcs``).
+        """
         self.first_attempt_done = False
         self.blocked_since = None
         self.feasible_pcs = ()
         self.feasible_vcs = None
+        # A granted output channel is both a routing and a movement wakeup.
+        self.route_asleep = False
+        self.move_asleep = False
 
     def reset_for_reinjection(self, node: NodeId, cycle: int) -> None:
         """Prepare the message to re-enter the network from ``node``.

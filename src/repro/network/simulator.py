@@ -18,6 +18,27 @@ Timing matches the paper's model in the quantities that drive detection:
 routing retried every cycle for blocked headers, one flit per cycle per
 physical channel (virtual channels time-multiplexed), channel inactivity
 measured from the last flit transmission.
+
+Two engines execute this model (``SimulationConfig.engine``):
+
+* ``"scan"`` — the reference: every blocked header re-attempts routing
+  and every worm is visited by the movement scan, each cycle.
+* ``"event"`` (default) — the event-driven fast path: a blocked header
+  whose failed attempt cannot change outcome is *parked* and skipped by
+  the scans until a provable wakeup event — a lane freeing or an
+  inactivity counter resuming on a feasible channel, a G/P promotion on
+  its input channel, or its detector-computed detection deadline
+  (re-derived lazily when a flit crossing a feasible channel pushes it
+  out); worms with no structurally movable flit likewise park until
+  routing grants their header a channel.
+
+Both engines keep the same message lists in the same (rotating) order
+and consume the same RNG stream — failed routing attempts draw nothing —
+so runs are *bit-identical*: same stats, same traces, same detection
+cycles (asserted by ``tests/network/test_engine_equivalence.py``).  The
+event engine merely skips work whose outcome is provably unchanged,
+which is most of the per-cycle work at and beyond saturation where the
+paper's tables are measured.
 """
 
 from __future__ import annotations
@@ -25,6 +46,7 @@ from __future__ import annotations
 import heapq
 import random
 from collections import deque
+from time import perf_counter
 from typing import Deque, Dict, List, Optional, Set
 
 from repro.analysis.deadlock import find_deadlocked
@@ -37,10 +59,8 @@ from repro.network.routing import make_routing_function
 from repro.network.types import DetectionEvent, MessageStatus, NodeId, PortKind
 from repro.traffic.workload import Workload
 
-try:  # optional fast path for traffic generation
-    import numpy as _np
-except ImportError:  # pragma: no cover - numpy is installed in CI
-    _np = None
+#: Keys of the per-phase wall-time accumulators in ``stats.phase_time``.
+PHASES = ("checks", "routing", "movement", "injection", "generation")
 
 
 class Simulator:
@@ -51,9 +71,6 @@ class Simulator:
         self.config = config
         self.topology = config.build_topology()
         self.rng = random.Random(config.seed)
-        self._gen_rng = (
-            _np.random.default_rng(config.seed ^ 0x5EED) if _np is not None else None
-        )
         self.routing_fn = make_routing_function(config.routing)
         self.workload = Workload(config.traffic, self.topology)
 
@@ -74,7 +91,37 @@ class Simulator:
             warmup_cycles=config.warmup_cycles,
             measure_cycles=config.measure_cycles,
             num_nodes=self.topology.num_nodes,
+            engine=config.engine,
         )
+        self._phase_time = self.stats.phase_time
+        for name in PHASES:
+            self._phase_time[name] = 0.0
+
+        # Event engine state.  Parking is only sound when the detector has
+        # no per-attempt side effects on blocked messages.
+        self._park_enabled = config.engine == "event"
+        self._detector_can_sleep = self.detector.can_sleep_blocked
+        #: (deadline_cycle, seq, message) heap of sleeping headers whose
+        #: detector predicate can first become true at deadline_cycle.
+        self._route_deadlines: List = []
+        self._deadline_seq = 0
+        #: Shared one-element counter of currently route-parked messages;
+        #: channels and the NDM decrement it on wake, so the routing phase
+        #: can tell in O(1) when its entire pending list is asleep.
+        self._route_parked_box = [0]
+        for pc in self.channels:
+            pc.wake_box = self._route_parked_box
+        #: Count of currently move-parked worms (simulator-internal: the
+        #: only wake sites are routing grants and worm teardown).
+        self._move_parked = 0
+        # Work counters (flushed to stats.engine_counters by run()).
+        self._n_route_attempts = 0
+        self._n_route_skips = 0
+        self._n_route_parks = 0
+        self._n_move_visits = 0
+        self._n_move_skips = 0
+        self._n_move_parks = 0
+        self._n_deadline_wakeups = 0
 
         self.cycle = 0
         self.measuring = False
@@ -165,12 +212,34 @@ class Simulator:
             self.generation_enabled = False
             self.measuring = False
             deadline = self.cycle + cfg.drain_cycles
+            # In-flight traffic also lives in the recovery-lane delivery
+            # heap and the recovery re-injection queues; stopping while
+            # either is non-empty would silently drop those messages.
             while self.cycle < deadline and (
-                self.active_messages or any(self.source_queues)
+                self.active_messages
+                or self._recovery_deliveries
+                or self.recovery_queues
+                or any(self.source_queues)
             ):
                 self.step()
         self.stats.cycles_run = self.cycle
+        self.flush_engine_counters()
         return self.stats
+
+    def flush_engine_counters(self) -> None:
+        """Copy the engine work counters into ``stats.engine_counters``.
+
+        ``run()`` calls this automatically; call it manually after driving
+        the simulator via :meth:`step` if you want the telemetry.
+        """
+        c = self.stats.engine_counters
+        c["route_attempts"] = self._n_route_attempts
+        c["route_parked_skips"] = self._n_route_skips
+        c["route_parks"] = self._n_route_parks
+        c["move_visits"] = self._n_move_visits
+        c["move_parked_skips"] = self._n_move_skips
+        c["move_parks"] = self._n_move_parks
+        c["deadline_wakeups"] = self._n_deadline_wakeups
 
     def step(self) -> None:
         """Advance the simulation by one cycle."""
@@ -181,6 +250,7 @@ class Simulator:
         if cycle == cfg.warmup_cycles + cfg.measure_cycles:
             self.measuring = False
 
+        t0 = perf_counter()
         interval = cfg.ground_truth_interval
         if interval and cycle and cycle % interval == 0:
             self._truth_sweep(cycle)
@@ -193,30 +263,127 @@ class Simulator:
                 if m.status is MessageStatus.IN_NETWORK and not m.marked_deadlocked:
                     self._handle_detection(m, cycle)
 
+        t1 = perf_counter()
         self._routing_phase(cycle)
+        t2 = perf_counter()
         self._movement_phase(cycle)
+        t3 = perf_counter()
         self._injection_phase(cycle)
+        t4 = perf_counter()
         if self.generation_enabled:
             self._generation_phase(cycle)
+        t5 = perf_counter()
+        pt = self._phase_time
+        pt["checks"] += t1 - t0
+        pt["routing"] += t2 - t1
+        pt["movement"] += t3 - t2
+        pt["injection"] += t4 - t3
+        pt["generation"] += t5 - t4
         self.cycle = cycle + 1
 
     # ------------------------------------------------------------------
     # Phase 3: routing
     # ------------------------------------------------------------------
     def _routing_phase(self, cycle: int) -> None:
+        deadlines = self._route_deadlines
+        if deadlines:
+            box = self._route_parked_box
+            while deadlines and deadlines[0][0] <= cycle:
+                m = heapq.heappop(deadlines)[2]
+                if m.route_asleep:
+                    m.route_asleep = False
+                    box[0] -= 1
+                    self._n_deadline_wakeups += 1
         pending = self.pending_route
         if not pending:
             return
-        still_pending: List[Message] = []
         offset = cycle % len(pending)
         order = pending[offset:] + pending[:offset]
+        if self._route_parked_box[0] == len(pending):
+            # Every pending header is asleep (and therefore IN_NETWORK —
+            # any status change wakes it): the reference scan would fail
+            # every attempt and rebuild the list in rotated order, which
+            # is exactly `order`.  Skip the per-message loop.
+            self.pending_route = order
+            self._n_route_skips += len(pending)
+            return
+        still_pending: List[Message] = []
         self.pending_route = still_pending
+        n_attempts = 0
+        n_skips = 0
+        in_network = MessageStatus.IN_NETWORK
+        keep_pending = still_pending.append
         for m in order:
-            if m.status is not MessageStatus.IN_NETWORK:
+            if m.status is not in_network:
                 continue  # recovered/removed since it was queued
+            if m.route_asleep:
+                # Parked: the attempt would fail without side effects, so
+                # skip it.  The message stays in the list at the same
+                # position to keep the rotation order (and therefore the
+                # RNG stream) identical to the reference scan engine.
+                n_skips += 1
+                keep_pending(m)
+                continue
+            n_attempts += 1
             if not self._attempt_route(m, cycle):
-                if m.status is MessageStatus.IN_NETWORK:
-                    still_pending.append(m)
+                if m.status is in_network:
+                    keep_pending(m)
+        self._n_route_attempts += n_attempts
+        self._n_route_skips += n_skips
+
+    def _park_blocked(self, m: Message, cycle: int) -> None:
+        """Put a freshly failed header to sleep until a wakeup event.
+
+        Sound because (a) a failed attempt proves no allowed VC is free,
+        and any later free lane triggers ``note_released`` which clears
+        ``route_asleep``; (b) the detector predicate can only first hold
+        at ``blocked_deadline`` — earlier only if an inactivity counter
+        restarts (``note_occupied`` wake) or the input channel is promoted
+        to G (``header_waiters`` wake), each of which re-parks with a
+        recomputed deadline on the next failed attempt.
+        """
+        if not m.wait_registered:
+            m.wait_registered = True
+            for pc in m.feasible_pcs:
+                waiters = pc.route_waiters
+                if waiters is None:
+                    waiters = pc.route_waiters = set()
+                waiters.add(m)
+            ipc = m.input_pc
+            if ipc is not None:
+                waiters = ipc.header_waiters
+                if waiters is None:
+                    waiters = ipc.header_waiters = set()
+                waiters.add(m)
+        if m.marked_deadlocked:
+            # Already detected (recovery "none"): only a VC release matters.
+            m.route_asleep = True
+            self._route_parked_box[0] += 1
+            self._n_route_parks += 1
+            return
+        deadline = self.detector.blocked_deadline(m, cycle)
+        if deadline is None:
+            m.route_asleep = True
+        elif deadline > cycle:
+            m.route_asleep = True
+            self._deadline_seq += 1
+            heapq.heappush(
+                self._route_deadlines, (deadline, self._deadline_seq, m)
+            )
+        else:
+            return  # inconsistent deadline; stay awake (reference behaviour)
+        self._route_parked_box[0] += 1
+        self._n_route_parks += 1
+
+    def _unregister_parked(self, m: Message) -> None:
+        """Drop ``m`` from all waiter sets (before feasible_pcs is cleared)."""
+        m.wait_registered = False
+        for pc in m.feasible_pcs:
+            if pc.route_waiters is not None:
+                pc.route_waiters.discard(m)
+        ipc = m.input_pc
+        if ipc is not None and ipc.header_waiters is not None:
+            ipc.header_waiters.discard(m)
 
     def _attempt_route(self, m: Message, cycle: int) -> bool:
         """Try to allocate an output VC for ``m``'s header; True on success."""
@@ -258,6 +425,10 @@ class Simulator:
                 router.note_network_vc_allocated()
             m.allocated_vc = vc
             self.detector.on_message_routed(m, cycle)
+            if m.wait_registered:
+                self._unregister_parked(m)
+            if m.move_asleep:
+                self._move_parked -= 1
             m.reset_routing_state()
             if self.tracer is not None:
                 self.tracer.record(("route", cycle, m.id, node, vc.pc.index))
@@ -275,6 +446,10 @@ class Simulator:
             m, router, cycle, first
         ):
             self._handle_detection(m, cycle)
+        elif self._park_enabled and (
+            self._detector_can_sleep or m.marked_deadlocked
+        ):
+            self._park_blocked(m, cycle)
         return False
 
     # ------------------------------------------------------------------
@@ -284,25 +459,86 @@ class Simulator:
         active = self.active_messages
         if not active:
             return
-        keep: List[Message] = []
         offset = cycle % len(active)
         order = active[offset:] + active[:offset]
+        if self._move_parked == len(active):
+            # Every worm is frozen (hence IN_NETWORK — teardown and
+            # routing grants both unpark): the reference scan would move
+            # nothing and rebuild the list in rotated order.
+            self.active_messages = order
+            self._n_move_skips += len(active)
+            return
+        keep: List[Message] = []
         self.active_messages = keep
+        park = self._park_enabled
+        n_visits = 0
+        n_skips = 0
+        in_network = MessageStatus.IN_NETWORK
+        keep_active = keep.append
         for m in order:
-            if m.status is not MessageStatus.IN_NETWORK:
+            if m.status is not in_network:
                 m.in_active = False
                 continue
-            self._advance_message(m, cycle)
-            if m.status is MessageStatus.IN_NETWORK:
-                keep.append(m)
+            if m.move_asleep:
+                # Structurally frozen worm: stays in the list at the same
+                # position (rotation order), woken by a routing grant.
+                n_skips += 1
+                keep_active(m)
+                continue
+            n_visits += 1
+            frozen = self._advance_message(m, cycle)
+            if m.status is in_network:
+                keep_active(m)
+                if park and frozen and m.spans:
+                    m.move_asleep = True
+                    self._move_parked += 1
+                    self._n_move_parks += 1
             else:
                 m.in_active = False
+        self._n_move_visits += n_visits
+        self._n_move_skips += n_skips
 
-    def _advance_message(self, m: Message, cycle: int) -> None:
+    @staticmethod
+    def _worm_immovable(m: Message) -> bool:
+        """True if no flit of ``m`` can advance at any future cycle until
+        its header is granted an output VC.
+
+        Checks only *structural* conditions (full downstream buffers, no
+        ejection sink, source flits against a full first span); per-cycle
+        bandwidth guards are transient and deliberately ignored, so this
+        is conservative: False never parks a movable worm.
+        """
+        spans = m.spans
+        if not spans:
+            return False
+        for i in range(len(spans) - 1, 0, -1):
+            if spans[i - 1].flits == 0:
+                continue
+            down = spans[i]
+            if down.pc.kind is PortKind.EJECTION or down.flits < down.capacity:
+                return False
+        if m.flits_at_source > 0 and spans[0].flits < spans[0].capacity:
+            return False
+        return True
+
+    def _advance_message(self, m: Message, cycle: int) -> bool:
+        """Advance one worm one cycle; return True if the worm is *frozen*.
+
+        Frozen means structurally immovable: nothing moved this cycle, no
+        output VC is granted, and every stalled flit is stopped by a full
+        downstream buffer (or a full first span, for source flits) rather
+        than by a transient per-cycle bandwidth guard — so no flit of this
+        worm can advance at any future cycle until routing grants the
+        header an output channel.  The event engine parks frozen worms
+        (equivalent to :meth:`_worm_immovable`, which the invariant
+        checker uses as the independent specification).
+        """
+        frozen = True
         spans = m.spans
         # -- header into its granted output VC --------------------------
         avc = m.allocated_vc
         if avc is not None:
+            frozen = False  # granted channel: advances now or next cycle
             tpc = avc.pc
             if tpc.last_flit_cycle != cycle:
                 ok = True
@@ -341,6 +577,10 @@ class Simulator:
                         self.pending_route.append(m)
 
         # -- body flits, front (header side) to back (tail side) --------
+        # The structural test (full downstream buffer) runs before the
+        # per-cycle bandwidth guards: all are pure reads, so the movement
+        # outcome is unchanged, and a pair stopped only by a transient
+        # guard is recognized as movable-later (not frozen).
         n = len(spans)
         for i in range(n - 1, 0, -1):
             up = spans[i - 1]
@@ -348,10 +588,11 @@ class Simulator:
                 continue
             down = spans[i]
             dpc = down.pc
-            if dpc.last_flit_cycle == cycle:
-                continue
             sink = dpc.kind is PortKind.EJECTION
             if not sink and down.flits >= down.capacity:
+                continue  # structurally stuck until the worm drains below
+            frozen = False
+            if dpc.last_flit_cycle == cycle:
                 continue
             upc = up.pc
             if self._input_limit and upc.last_drain_cycle == cycle:
@@ -367,16 +608,19 @@ class Simulator:
         # -- source flits into the injection VC -------------------------
         if m.flits_at_source > 0 and spans:
             first = spans[0]
-            fpc = first.pc
-            if fpc.last_flit_cycle != cycle and first.flits < first.capacity:
-                m.flits_at_source -= 1
-                m.last_source_flit_cycle = cycle
-                fpc.record_flit(cycle)
-                first.flits += 1
+            if first.flits < first.capacity:
+                frozen = False
+                fpc = first.pc
+                if fpc.last_flit_cycle != cycle:
+                    m.flits_at_source -= 1
+                    m.last_source_flit_cycle = cycle
+                    fpc.record_flit(cycle)
+                    first.flits += 1
 
         # -- tail release ------------------------------------------------
         while len(spans) > 1 and m.flits_at_source == 0 and spans[0].flits == 0:
             self._release_vc(spans.pop(0), cycle)
+            frozen = False
 
         # -- delivery ------------------------------------------------------
         if m.flits_delivered == m.length:
@@ -384,6 +628,7 @@ class Simulator:
                 self._release_vc(vc, cycle)
             spans.clear()
             self._finish_delivery(m, cycle)
+        return frozen
 
     def _finish_delivery(self, m: Message, cycle: int) -> None:
         m.status = MessageStatus.DELIVERED
@@ -458,14 +703,14 @@ class Simulator:
         p = self.workload.generation_probability
         if p <= 0.0:
             return
+        # Per-node Bernoulli draws from the single seeded ``random.Random``
+        # stream, drawn in node order *before* any destination/length
+        # draws.  Deliberately backend-free: a (config, seed) pair must
+        # produce the same run on every host (see
+        # tests/network/test_determinism.py), so no numpy fast path here.
         num = self.topology.num_nodes
-        if self._gen_rng is not None:
-            count = int(self._gen_rng.binomial(num, p))
-            if count == 0:
-                return
-            sources = self.rng.sample(range(num), count)
-        else:
-            sources = [n for n in range(num) if self.rng.random() < p]
+        rng_random = self.rng.random
+        sources = [n for n in range(num) if rng_random() < p]
         for source in sources:
             self._generate_at(source, cycle)
 
@@ -534,6 +779,16 @@ class Simulator:
                 ("recover", cycle, m.id, node if node is not None else -1)
             )
         self.detector.on_message_removed(m, cycle)
+        if m.wait_registered:
+            # Before releasing: the releases below would "wake" the dying
+            # worm, and reset_for_reinjection clears feasible_pcs.
+            self._unregister_parked(m)
+        if m.route_asleep:
+            m.route_asleep = False
+            self._route_parked_box[0] -= 1
+        if m.move_asleep:
+            m.move_asleep = False
+            self._move_parked -= 1
         vcs = list(m.spans)
         if m.allocated_vc is not None:
             vcs.append(m.allocated_vc)
@@ -623,6 +878,7 @@ class Simulator:
         for m in self.active_messages:
             if m.status is MessageStatus.IN_NETWORK:
                 m.check_conservation()
+                self._check_parked_state(m)
         for router in self.routers:
             busy = sum(
                 1
@@ -640,4 +896,49 @@ class Simulator:
             if occupied != pc.occupied_count:
                 raise AssertionError(
                     f"{pc}: occupied_count {pc.occupied_count} != actual {occupied}"
+                )
+        n_route = sum(1 for m in self.active_messages if m.route_asleep)
+        if n_route != self._route_parked_box[0]:
+            raise AssertionError(
+                f"route-parked count {self._route_parked_box[0]} != actual "
+                f"{n_route} (a stale count defeats the all-asleep fast path)"
+            )
+        n_move = sum(1 for m in self.active_messages if m.move_asleep)
+        if n_move != self._move_parked:
+            raise AssertionError(
+                f"move-parked count {self._move_parked} != actual {n_move}"
+            )
+
+    def _check_parked_state(self, m: Message) -> None:
+        """Event-engine safety: a parked message must have no way forward.
+
+        A violation means a wakeup event was lost and the fast path could
+        diverge from the reference scan (stranding the message).
+        """
+        if m.route_asleep:
+            if not m.wait_registered:
+                raise AssertionError(
+                    f"message {m.id}: route_asleep but not in any waiter set"
+                )
+            if m.feasible_vcs is not None:
+                free = [vc for vc in m.feasible_vcs if vc.occupant is None]
+            else:
+                free = [
+                    vc
+                    for pc in m.feasible_pcs
+                    for vc in pc.vcs
+                    if vc.occupant is None
+                ]
+            if free:
+                raise AssertionError(
+                    f"message {m.id}: route_asleep with free allowed VC {free[0]}"
+                )
+        if m.move_asleep:
+            if m.allocated_vc is not None:
+                raise AssertionError(
+                    f"message {m.id}: move_asleep despite a granted output VC"
+                )
+            if not self._worm_immovable(m):
+                raise AssertionError(
+                    f"message {m.id}: move_asleep but a flit could advance"
                 )

@@ -1,0 +1,103 @@
+"""Cross-environment determinism of a (config, seed) pair.
+
+A run must be bit-reproducible on any host.  Before the fix, traffic
+generation drew per-cycle source sets from ``numpy`` when it was
+importable and from the seeded ``random.Random`` stream otherwise, so
+the same (config, seed) produced *different* runs depending on whether
+numpy happened to be installed — and the campaign cache, keyed only by
+the config hash, would happily serve one environment's results to the
+other.  Generation is now backend-free: the pure-Python Bernoulli draws
+are the only path.
+
+``test_generation_identical_without_numpy`` fails against the old code
+(in this environment numpy *is* installed, so the old fast path kicks in
+and diverges from the numpy-blocked subprocess) and passes with the fix.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import inspect
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro.network.simulator as simulator_module
+from repro.network.config import SimulationConfig
+from repro.network.simulator import Simulator
+
+_CONFIG_KWARGS = dict(
+    radix=4,
+    dimensions=2,
+    warmup_cycles=50,
+    measure_cycles=300,
+    seed=99,
+)
+_RATE = 0.3
+
+
+def _digest() -> str:
+    config = SimulationConfig(**_CONFIG_KWARGS)
+    config.traffic.injection_rate = _RATE
+    stats = Simulator(config).run()
+    payload = stats.to_dict(include_events=False, include_perf=False)
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def test_same_seed_same_run():
+    assert _digest() == _digest()
+
+
+def test_simulator_does_not_import_numpy():
+    """Generation must not depend on an optional backend."""
+    source = inspect.getsource(simulator_module)
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            assert not any(a.name.split(".")[0] == "numpy" for a in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            assert (node.module or "").split(".")[0] != "numpy"
+
+
+def test_generation_identical_without_numpy():
+    """The digest must match in a subprocess where numpy cannot import."""
+    script = f"""
+import sys
+
+class _Block:
+    def find_module(self, name, path=None):
+        if name == "numpy" or name.startswith("numpy."):
+            return self
+    def load_module(self, name):
+        raise ImportError("numpy blocked for determinism test")
+
+sys.meta_path.insert(0, _Block())
+
+import hashlib, json
+from repro.network.config import SimulationConfig
+from repro.network.simulator import Simulator
+
+config = SimulationConfig(**{_CONFIG_KWARGS!r})
+config.traffic.injection_rate = {_RATE!r}
+stats = Simulator(config).run()
+payload = stats.to_dict(include_events=False, include_perf=False)
+print(hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest())
+"""
+    src_dir = Path(simulator_module.__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(src_dir), env.get("PYTHONPATH")])
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    )
+    assert result.stdout.strip() == _digest()

@@ -1,0 +1,167 @@
+"""Bit-identical equivalence of the event-driven and reference engines.
+
+The event engine (``engine="event"``) parks blocked headers and frozen
+worms between wakeup events instead of re-scanning them every cycle.
+These tests are the gate for that optimization: for every detector,
+recovery scheme and load regime below, a run under each engine must
+produce *byte-identical* simulated behaviour — every stats counter
+(``to_dict(include_perf=False)``; engine telemetry legitimately differs),
+every traced event in order (including detection cycles), and the same
+final message population.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.config import SimulationConfig
+from repro.network.simulator import Simulator
+from repro.network.tracing import Tracer
+
+
+def _config(**overrides) -> SimulationConfig:
+    config = SimulationConfig(
+        radix=4,
+        dimensions=2,
+        warmup_cycles=100,
+        measure_cycles=600,
+        seed=20,
+    )
+    config.traffic.injection_rate = 0.4  # beyond saturation for 16 nodes
+    for key, value in overrides.items():
+        if key == "mechanism":
+            config.detector.mechanism = value
+        elif key == "threshold":
+            config.detector.threshold = value
+        elif key == "selective_promotion":
+            config.detector.selective_promotion = value
+        elif key == "injection_rate":
+            config.traffic.injection_rate = value
+        elif key == "lengths":
+            config.traffic.lengths = value
+        else:
+            setattr(config, key, value)
+    return config
+
+
+def _run(config: SimulationConfig, engine: str):
+    sim = Simulator(config.replace(engine=engine))
+    sim.tracer = Tracer(capacity=0)  # unbounded: every event, in order
+    stats = sim.run()
+    return sim, stats
+
+
+def assert_equivalent(config: SimulationConfig) -> None:
+    sim_scan, stats_scan = _run(config, "scan")
+    sim_event, stats_event = _run(config, "event")
+    # Full behavioural stats, detection events included.
+    assert stats_scan.to_dict(include_perf=False) == stats_event.to_dict(
+        include_perf=False
+    )
+    # Full event streams, in order: inject/route/block/deliver/detect/recover.
+    assert list(sim_scan.tracer.events) == list(sim_event.tracer.events)
+    # Same in-flight population at the end (same ids, same order).
+    assert [m.id for m in sim_scan.active_messages] == [
+        m.id for m in sim_event.active_messages
+    ]
+    assert [m.id for m in sim_scan.pending_route] == [
+        m.id for m in sim_event.pending_route
+    ]
+    sim_event.check_invariants()
+
+
+CASES = {
+    "ndm": dict(mechanism="ndm", threshold=16),
+    "ndm-selective": dict(
+        mechanism="ndm", threshold=16, selective_promotion=True
+    ),
+    "ndm-low-vc": dict(mechanism="ndm", threshold=16, vcs_per_channel=1),
+    "pdm": dict(mechanism="pdm", threshold=16),
+    "timeout": dict(mechanism="timeout", threshold=24),
+    "hybrid": dict(mechanism="hybrid", threshold=8),
+    "source-age": dict(mechanism="source-age", threshold=200),
+    "none": dict(mechanism="none"),
+    "recovery-reinject": dict(
+        mechanism="ndm", threshold=16, recovery="progressive-reinject"
+    ),
+    "recovery-regressive": dict(
+        mechanism="ndm", threshold=16, recovery="regressive"
+    ),
+    "recovery-none": dict(mechanism="ndm", threshold=16, recovery="none"),
+    "drain": dict(mechanism="ndm", threshold=16, drain_cycles=400),
+    "long-messages": dict(mechanism="ndm", threshold=48, lengths="l"),
+    "mesh": dict(mechanism="ndm", threshold=16, topology="mesh"),
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_engines_bit_identical(case):
+    assert_equivalent(_config(**CASES[case]))
+
+
+def test_engines_bit_identical_saturated_torus():
+    """Heavier 64-node beyond-saturation run, the benchmark's regime."""
+    config = _config(
+        radix=8,
+        mechanism="ndm",
+        threshold=32,
+        injection_rate=1.0,
+        warmup_cycles=100,
+        measure_cycles=400,
+    )
+    assert_equivalent(config)
+
+
+def test_precise_ndm_never_parks():
+    """ndm-precise records per-attempt witnesses, so the event engine
+    must keep re-attempting blocked headers (can_sleep_blocked=False)."""
+    config = _config(mechanism="ndm-precise", threshold=16)
+    sim, _ = _run(config, "event")
+    assert sim.stats.engine_counters["route_parks"] == 0
+    assert_equivalent(config)
+
+
+def test_event_engine_actually_parks():
+    """Guard against the fast path silently degrading to a full scan."""
+    config = _config(
+        mechanism="ndm", threshold=16, vcs_per_channel=1, injection_rate=0.6
+    )
+    _, stats = _run(config, "event")
+    assert stats.engine_counters["route_parks"] > 0
+    assert stats.engine_counters["route_parked_skips"] > 0
+    assert stats.engine_counters["move_parks"] > 0
+    assert stats.engine_counters["move_parked_skips"] > 0
+
+
+def test_scan_engine_never_parks():
+    config = _config(mechanism="ndm", threshold=16)
+    _, stats = _run(config, "scan")
+    assert stats.engine_counters["route_parks"] == 0
+    assert stats.engine_counters["route_parked_skips"] == 0
+    assert stats.engine_counters["move_parks"] == 0
+    assert stats.engine_counters["move_parked_skips"] == 0
+
+
+def test_perf_fields_excluded_from_comparison_form():
+    config = _config(mechanism="ndm", threshold=16)
+    _, stats = _run(config, "event")
+    lean = stats.to_dict(include_perf=False)
+    assert "engine" not in lean
+    assert "phase_time" not in lean
+    assert "engine_counters" not in lean
+    full = stats.to_dict()
+    assert full["engine"] == "event"
+    assert set(full["phase_time"]) == {
+        "checks",
+        "routing",
+        "movement",
+        "injection",
+        "generation",
+    }
+
+
+def test_engine_validated():
+    config = _config()
+    config.engine = "warp"
+    with pytest.raises(ValueError, match="engine"):
+        config.validate()
