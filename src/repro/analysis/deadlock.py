@@ -23,7 +23,7 @@ ejection ports consume flits unconditionally (no protocol deadlock).
 
 from __future__ import annotations
 
-from typing import Iterable, Set
+from typing import Iterable, List, Set
 
 from repro.network.message import Message
 
@@ -39,12 +39,16 @@ def find_deadlocked(messages: Iterable[Message]) -> Set[Message]:
     if not candidates:
         return set()
 
+    # The reduction fixpoint is confluent (the irreducible set is unique),
+    # but we still reduce in a deterministic order — iterating the stable
+    # candidate list, not the hash-ordered set — so intermediate states
+    # and work done are identical across PYTHONHASHSEED values.
     deadlocked: Set[Message] = set(candidates)
     changed = True
     while changed:
         changed = False
-        for m in list(deadlocked):
-            if _has_escape(m, deadlocked):
+        for m in candidates:
+            if m in deadlocked and _has_escape(m, deadlocked):
                 deadlocked.discard(m)
                 changed = True
     return deadlocked
@@ -68,7 +72,7 @@ def _has_escape(message: Message, deadlocked: Set[Message]) -> bool:
     return False
 
 
-def waiting_chain(message: Message, limit: int = 32) -> list:
+def waiting_chain(message: Message, limit: int = 32) -> List[Message]:
     """Follow one holder chain from ``message`` (diagnostic helper).
 
     Picks, at each step, the first occupied feasible VC's holder.  Useful

@@ -17,14 +17,14 @@ sufficient evidence and therefore reported as *candidates*.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Any, Dict, Iterable, List, Optional, Set
 
 from repro.network.message import Message
 
 try:  # networkx is optional; cycle enumeration degrades gracefully
     import networkx as _nx
 except ImportError:  # pragma: no cover - networkx is installed in CI
-    _nx = None
+    _nx = None  # type: ignore[assignment]
 
 
 @dataclass
@@ -60,7 +60,7 @@ class WaitGraph:
     # ------------------------------------------------------------------
     # Cycle analysis
     # ------------------------------------------------------------------
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """The graph as a ``networkx.DiGraph`` (nodes are message ids)."""
         if _nx is None:  # pragma: no cover - networkx is installed in CI
             raise RuntimeError("networkx is not available")

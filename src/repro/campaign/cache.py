@@ -28,7 +28,7 @@ class ResultCache:
         root: cache directory (created lazily on first write).
     """
 
-    def __init__(self, root: str):
+    def __init__(self, root: str) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
@@ -42,7 +42,7 @@ class ResultCache:
         """The stored payload for ``key``, or ``None`` on a miss."""
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text())
+            payload: Dict[str, Any] = json.loads(path.read_text())
         except (OSError, ValueError):
             self.misses += 1
             return None

@@ -30,7 +30,7 @@ class CampaignCheckpoint:
             (a plain re-run rather than a resume).
     """
 
-    def __init__(self, path: str, fresh: bool = False):
+    def __init__(self, path: str, fresh: bool = False) -> None:
         self.path = Path(path)
         if fresh and self.path.exists():
             self.path.unlink()
@@ -118,14 +118,14 @@ class CampaignSummary:
     """Aggregated telemetry of one manifest."""
 
     total_cells: int = 0
-    by_source: Counter = field(default_factory=Counter)
-    by_worker: Counter = field(default_factory=Counter)
-    by_table: Counter = field(default_factory=Counter)
+    by_source: Counter[str] = field(default_factory=Counter)
+    by_worker: Counter[str] = field(default_factory=Counter)
+    by_table: Counter[str] = field(default_factory=Counter)
     wall_time_total: float = 0.0
     wall_time_max: float = 0.0
     slowest_key: Optional[str] = None
     campaigns_started: int = 0
-    by_engine: Counter = field(default_factory=Counter)
+    by_engine: Counter[str] = field(default_factory=Counter)
     phase_time_total: Dict[str, float] = field(default_factory=dict)
 
     @property

@@ -12,7 +12,7 @@ cache and a manifest, which is what ``repro-experiments all`` uses.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional, Sequence
 
 from repro.campaign.cache import ResultCache
 from repro.campaign.checkpoint import CampaignCheckpoint
@@ -60,7 +60,7 @@ def run_table_campaign(
 
 def assemble_table(
     spec: TableSpec,
-    rates,
+    rates: Sequence[float],
     outcomes: Dict[str, JobOutcome],
 ) -> TableResult:
     """Rebuild a ``TableResult`` from keyed outcomes, canonical order.
@@ -85,7 +85,9 @@ def run_campaign(
     cache: Optional[ResultCache] = None,
     checkpoint: Optional[CampaignCheckpoint] = None,
     resume: bool = False,
-    progress_factory=None,
+    progress_factory: Optional[
+        Callable[[TableSpec], Optional[ProgressFn]]
+    ] = None,
 ) -> Dict[int, TableResult]:
     """Run several tables as one campaign with shared cache/manifest.
 

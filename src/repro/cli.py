@@ -1,0 +1,54 @@
+"""The ``repro`` umbrella command.
+
+Subcommands are thin wrappers around the per-package CLIs::
+
+    repro lint [paths...]        static analysis (repro.lint)
+    repro experiments ...        table campaigns (repro.experiments)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.cli import build_parser as build_lint_parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wormhole deadlock-detection reproduction toolkit.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    build_lint_parser(
+        sub.add_parser(
+            "lint",
+            help="determinism & protocol static analysis",
+            description="Determinism & protocol static analysis for repro.",
+        )
+    )
+    sub.add_parser(
+        "experiments",
+        help="run the paper's table campaigns (alias of repro-experiments)",
+        add_help=False,
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args_list = list(sys.argv[1:] if argv is None else argv)
+    # "experiments" forwards everything verbatim to the existing CLI, so
+    # its rich option surface stays defined in exactly one place.
+    if args_list[:1] == ["experiments"]:
+        from repro.experiments.cli import main as experiments_main
+
+        result = experiments_main(args_list[1:])
+        return int(result) if result is not None else 0
+    args = build_parser().parse_args(args_list)
+    result = args.func(args)
+    return int(result) if result is not None else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - console-script entry
+    raise SystemExit(main())

@@ -50,7 +50,7 @@ class DeadlockDetector:
     #: re-attempt every cycle exactly as under the reference engine.
     can_sleep_blocked = True
 
-    def __init__(self, threshold: int):
+    def __init__(self, threshold: int) -> None:
         if threshold < 1:
             raise ValueError(f"detection threshold must be >= 1, got {threshold}")
         self.threshold = threshold

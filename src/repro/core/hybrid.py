@@ -39,7 +39,7 @@ class HybridDetection(NewDetectionMechanism):
         t1: int = 1,
         selective_promotion: bool = False,
         fallback_factor: int = 16,
-    ):
+    ) -> None:
         super().__init__(threshold, t1=t1, selective_promotion=selective_promotion)
         if fallback_factor < 2:
             raise ValueError(

@@ -38,7 +38,7 @@ Protocol, exactly as described in the paper:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.detector import DeadlockDetector
 from repro.network.channel import PhysicalChannel, VirtualChannel
@@ -67,7 +67,7 @@ class NewDetectionMechanism(DeadlockDetector):
 
     def __init__(
         self, threshold: int, t1: int = 1, selective_promotion: bool = False
-    ):
+    ) -> None:
         super().__init__(threshold)
         if t1 < 1:
             raise ValueError(f"t1 must be >= 1 cycle, got {t1}")
@@ -211,7 +211,9 @@ class NewDetectionMechanism(DeadlockDetector):
     # ------------------------------------------------------------------
     def _register_waiter(self, message: Message, input_pc: PhysicalChannel) -> None:
         for pc in message.feasible_pcs:
-            waiters: Dict[PhysicalChannel, int] = pc.waiters  # type: ignore[assignment]
+            waiters = pc.waiters
+            if waiters is None:  # pragma: no cover - armed in attach()
+                continue
             waiters[input_pc] = waiters.get(input_pc, 0) + 1
 
     def _unregister_waiter(self, message: Message) -> None:

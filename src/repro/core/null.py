@@ -15,7 +15,7 @@ class NoDetection(DeadlockDetector):
 
     name = "none"
 
-    def __init__(self, threshold: int = 1):
+    def __init__(self, threshold: int = 1) -> None:
         super().__init__(threshold)
 
     def describe(self) -> str:

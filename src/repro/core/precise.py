@@ -41,7 +41,7 @@ class PreciseNDM(DeadlockDetector):
     #: blocked messages must keep re-routing each cycle under both engines.
     can_sleep_blocked = False
 
-    def __init__(self, threshold: int):
+    def __init__(self, threshold: int) -> None:
         super().__init__(threshold)
         # message id -> cycle at which it witnessed a non-blocked holder
         # (None while it has not).

@@ -31,7 +31,7 @@ class RecoveryManager:
 
     name = "abstract"
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
 
     def recover(self, message: Message, cycle: int) -> None:

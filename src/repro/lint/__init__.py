@@ -1,0 +1,35 @@
+"""``repro lint`` — determinism & protocol static analysis for this repo.
+
+A small AST-based analyzer with rules tuned to the invariants this
+reproduction guarantees (bit-identical runs across hosts, engines and
+``PYTHONHASHSEED`` values; detectors that fully implement the
+event-engine contract).  Each rule has a stable code, a short autofix
+hint, and an inline escape hatch::
+
+    risky_call()  # repro-lint: disable=DET001
+
+Run it as ``repro lint`` (console script), ``python -m repro.lint``, or
+through :func:`run_lint` from tests and tooling.  The rule catalog lives
+in ``docs/static-analysis.md``; new rules subclass :class:`Rule` and
+self-register in ~30 lines (see ``repro.lint.rules``).
+"""
+
+from repro.lint.engine import LintResult, lint_file, run_lint
+from repro.lint.findings import Finding, format_json, format_text
+from repro.lint.registry import Rule, all_rules, get_rule, register_rule
+
+# Importing the rules module registers the built-in rules.
+import repro.lint.rules as _rules  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "format_json",
+    "format_text",
+    "get_rule",
+    "lint_file",
+    "register_rule",
+    "run_lint",
+]

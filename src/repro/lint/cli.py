@@ -1,0 +1,77 @@
+"""Command-line entry point: ``repro lint`` / ``python -m repro.lint``."""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.lint.engine import run_lint
+from repro.lint.findings import format_json, format_text
+from repro.lint.registry import all_rules
+
+
+def build_parser(
+    parser: Optional[argparse.ArgumentParser] = None,
+) -> argparse.ArgumentParser:
+    """Configure the lint options (reused by the ``repro`` umbrella CLI)."""
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro lint",
+            description="Determinism & protocol static analysis for repro.",
+        )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is machine-readable for CI annotations)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show the autofix hint under each finding",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.set_defaults(func=run)
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(rule.scopes) if rule.scopes else "repo-wide"
+            print(f"{rule.code}  {rule.summary}")
+            print(f"        scope: {scope}")
+            print(f"        fix:   {rule.hint}")
+        return 0
+    result = run_lint(args.paths)
+    if args.format == "json":
+        print(format_json(result.findings))
+    else:
+        if result.findings:
+            print(format_text(result.findings, verbose=args.verbose))
+        noun = "file" if result.files_checked == 1 else "files"
+        print(
+            f"repro lint: {len(result.findings)} finding(s) in "
+            f"{result.files_checked} {noun}"
+        )
+    return 1 if result.findings else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Finding records and the two output formatters (text and JSON)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, List
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Attributes:
+        path: file the violation is in (as given to the engine).
+        line: 1-based line of the offending construct.
+        col: 0-based column of the offending construct.
+        code: stable rule code (``DET001`` ... ``PROTO002``).
+        message: one-line description of what is wrong *here*.
+        hint: the rule's generic autofix hint (how to resolve or disable).
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    hint: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+def format_text(findings: Iterable[Finding], verbose: bool = False) -> str:
+    """``file:line:col: CODE message`` per finding, sorted by location."""
+    lines: List[str] = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code)):
+        lines.append(f"{f.location()}: {f.code} {f.message}")
+        if verbose and f.hint:
+            lines.append(f"    hint: {f.hint}")
+    return "\n".join(lines)
+
+
+def format_json(findings: Iterable[Finding]) -> str:
+    """Machine-readable form: a JSON array of finding objects."""
+    payload = [
+        asdict(f)
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+    ]
+    return json.dumps(payload, indent=2, sort_keys=True)

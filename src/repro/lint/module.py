@@ -1,0 +1,204 @@
+"""Per-module analysis context shared by every rule.
+
+A :class:`ModuleInfo` owns the parsed AST plus the cheap semantic maps
+rules keep needing: the import table (local name -> qualified name),
+inline ``# repro-lint: disable=...`` suppressions, same-module function
+return annotations, and ``self.attr`` annotations per class.  Building
+them once per file keeps each rule a small, focused AST visitor.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+#: Marker introducing an inline suppression comment.
+DISABLE_PREFIX = "repro-lint:"
+
+
+def _parse_disable_comment(comment: str) -> Tuple[Optional[str], Set[str]]:
+    """Parse one comment body; returns (kind, codes) or (None, empty).
+
+    ``kind`` is ``"line"`` for ``disable=`` and ``"file"`` for
+    ``disable-file=``.
+    """
+    body = comment.lstrip("#").strip()
+    if not body.startswith(DISABLE_PREFIX):
+        return None, set()
+    body = body[len(DISABLE_PREFIX):].strip()
+    for kind, prefix in (("file", "disable-file="), ("line", "disable=")):
+        if body.startswith(prefix):
+            codes = {
+                c.strip() for c in body[len(prefix):].split(",") if c.strip()
+            }
+            return kind, codes
+    return None, set()
+
+
+def _collect_disables(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Map line -> suppressed codes, plus file-wide suppressed codes.
+
+    A trailing comment suppresses its own line; a comment alone on a line
+    suppresses the next line as well (so multi-line statements can carry
+    the disable above them).
+    """
+    per_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return per_line, file_wide
+    lines = source.splitlines()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        kind, codes = _parse_disable_comment(tok.string)
+        if kind == "file":
+            file_wide |= codes
+        elif kind == "line":
+            row = tok.start[0]
+            own_line = lines[row - 1][: tok.start[1]].strip() == ""
+            per_line.setdefault(row, set()).update(codes)
+            if own_line:
+                per_line.setdefault(row + 1, set()).update(codes)
+    return per_line, file_wide
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """Render a Name/Attribute chain as ``a.b.c`` (None for other exprs)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ClassSummary:
+    """Structural facts one rule pass needs about a class definition."""
+
+    def __init__(self, module: str, node: ast.ClassDef, imports: Dict[str, str]) -> None:
+        self.module = module
+        self.name = node.name
+        self.qualname = f"{module}.{node.name}"
+        self.lineno = node.lineno
+        self.col = node.col_offset
+        self.node = node
+        #: Base classes, resolved to qualified names where possible.
+        self.bases: List[str] = []
+        for base in node.bases:
+            text = dotted_name(base)
+            if text is None:
+                continue
+            head, _, rest = text.partition(".")
+            resolved = imports.get(head, head)
+            self.bases.append(resolved + ("." + rest if rest else ""))
+        #: Methods defined directly in this class body.
+        self.methods: Set[str] = set()
+        #: Class-level attribute assignments name -> constant value (or
+        #: ``...`` sentinel for non-constant right-hand sides).
+        self.class_attrs: Dict[str, object] = {}
+        #: Annotated class-level fields (dataclass field candidates),
+        #: in declaration order.
+        self.annotated_fields: List[str] = []
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.methods.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        value = (
+                            stmt.value.value
+                            if isinstance(stmt.value, ast.Constant)
+                            else ...
+                        )
+                        self.class_attrs[target.id] = value
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                self.annotated_fields.append(stmt.target.id)
+
+
+class ModuleInfo:
+    """Parsed module plus the semantic maps rules share."""
+
+    def __init__(self, path: str, source: str, module_name: str) -> None:
+        self.path = path
+        self.source = source
+        self.module_name = module_name
+        self.tree = ast.parse(source, filename=path)
+        self.line_disables, self.file_disables = _collect_disables(source)
+
+        #: local name -> qualified name for every import in the module.
+        self.imports: Dict[str, str] = {}
+        #: bare function/method name -> return annotation AST (last wins).
+        self.func_returns: Dict[str, ast.expr] = {}
+        #: (class name, attribute) -> annotation AST from ``self.x: T``
+        #: statements and class-body annotations.
+        self.attr_annotations: Dict[Tuple[str, str], ast.expr] = {}
+        self.classes: List[ClassSummary] = []
+        self._scan()
+
+    def _scan(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.returns is not None:
+                    self.func_returns[node.name] = node.returns
+        for node in self.tree.body:
+            if isinstance(node, ast.ClassDef):
+                self.classes.append(
+                    ClassSummary(self.module_name, node, self.imports)
+                )
+                self._scan_class_annotations(node)
+
+    def _scan_class_annotations(self, cls: ast.ClassDef) -> None:
+        for stmt in cls.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                self.attr_annotations[(cls.name, stmt.target.id)] = (
+                    stmt.annotation
+                )
+        for node in ast.walk(cls):
+            if (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Attribute)
+                and isinstance(node.target.value, ast.Name)
+                and node.target.value.id == "self"
+            ):
+                self.attr_annotations[(cls.name, node.target.attr)] = (
+                    node.annotation
+                )
+
+    # ------------------------------------------------------------------
+    def is_suppressed(self, code: str, line: int) -> bool:
+        """Whether an inline or file-wide disable covers this finding."""
+        if code in self.file_disables:
+            return True
+        return code in self.line_disables.get(line, set())
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name inferred from the package layout on disk."""
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)) or path.stem

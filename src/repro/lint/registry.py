@@ -1,0 +1,76 @@
+"""Rule base class and the global rule registry.
+
+A rule is a class with a stable ``code``, a one-line ``summary``, an
+autofix ``hint``, an optional tuple of module-name ``scopes`` it applies
+to, and a ``check(module)`` method yielding :class:`Finding` objects.
+Decorating it with :func:`register_rule` makes it active everywhere —
+the CLI, CI, and the fixture tests discover rules through this registry,
+so adding a rule is just one small class in ``repro.lint.rules``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple, Type
+
+from repro.lint.findings import Finding
+from repro.lint.module import ModuleInfo
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``scopes`` restricts the rule to modules whose dotted name equals or
+    lives under one of the prefixes; an empty tuple means repo-wide.
+    """
+
+    code: str = ""
+    summary: str = ""
+    hint: str = ""
+    scopes: Tuple[str, ...] = ()
+
+    def applies_to(self, module_name: str) -> bool:
+        if not self.scopes:
+            return True
+        return any(
+            module_name == scope or module_name.startswith(scope + ".")
+            for scope in self.scopes
+        )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # Convenience constructor so rule bodies stay one-liners.
+    def finding(
+        self, module: ModuleInfo, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=module.path,
+            line=line,
+            col=col,
+            code=self.code,
+            message=message,
+            hint=self.hint,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and add a rule to the registry."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls()
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """All registered rules, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    return _REGISTRY[code]

@@ -1,0 +1,184 @@
+"""Lightweight local type inference for the iteration-order rule.
+
+DET003 needs to answer one question: *does this expression iterate a
+``set`` (or the keys of a ``dict``) whose elements are not ints?*  We
+answer it with annotations and syntactically obvious constructors only —
+no cross-module dataflow — so verdicts are conservative: an expression
+we cannot classify is assumed safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+from repro.lint.module import ModuleInfo, dotted_name
+
+#: Element/key types whose hash is not randomized: iteration order of
+#: int-keyed sets/dicts is stable across ``PYTHONHASHSEED`` values.
+INT_LIKE = {"int", "NodeId", "MessageId"}
+
+_SET_NAMES = {"set", "Set", "frozenset", "FrozenSet", "AbstractSet", "MutableSet"}
+_DICT_NAMES = {"dict", "Dict", "Mapping", "MutableMapping", "defaultdict", "OrderedDict", "Counter"}
+_WRAPPERS = {"Optional", "Final", "ClassVar", "Annotated"}
+
+
+class IterVerdict:
+    """Classification of an iterated expression."""
+
+    def __init__(self, container: str, elem: Optional[str]) -> None:
+        #: ``"set"`` or ``"dict_keys"``.
+        self.container = container
+        #: Element (set) / key (dict) type name, or None when unknown.
+        self.elem = elem
+
+    @property
+    def hash_ordered(self) -> bool:
+        """True when iteration order depends on object hashes."""
+        return self.elem not in INT_LIKE
+
+
+def _ann_base_name(node: ast.expr) -> Optional[str]:
+    """Unqualified head of an annotation (``t.Set[x]`` -> ``Set``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return _ann_base_name(ast.parse(node.value, mode="eval").body)
+        except SyntaxError:
+            return None
+    return None
+
+
+def _elem_name(node: ast.expr) -> Optional[str]:
+    base = _ann_base_name(node)
+    return base
+
+
+def classify_annotation(node: ast.expr) -> Optional[IterVerdict]:
+    """Map an annotation AST to an iteration verdict (None = not hashed).
+
+    ``Set[Message]`` -> set of Message; ``Dict[NodeId, int]`` -> dict
+    keyed by NodeId; wrappers like ``Optional[...]`` are unwrapped.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        base = _ann_base_name(node.value)
+        if base in _WRAPPERS:
+            inner = node.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            return classify_annotation(inner)
+        args = node.slice
+        if base in _SET_NAMES:
+            elem = _elem_name(args) if not isinstance(args, ast.Tuple) else None
+            return IterVerdict("set", elem)
+        if base in _DICT_NAMES:
+            if isinstance(args, ast.Tuple) and args.elts:
+                return IterVerdict("dict_keys", _elem_name(args.elts[0]))
+            return IterVerdict("dict_keys", None)
+        return None
+    base = _ann_base_name(node)
+    if base in _SET_NAMES:
+        return IterVerdict("set", None)
+    if base in _DICT_NAMES:
+        return IterVerdict("dict_keys", None)
+    return None
+
+
+class FunctionEnv:
+    """Types of local names inside one function body."""
+
+    def __init__(self, module: ModuleInfo, func: ast.AST, class_name: Optional[str]) -> None:
+        self.module = module
+        self.class_name = class_name
+        self.annotations: Dict[str, ast.expr] = {}
+        #: Names assigned an expression we classified as a set/dict.
+        self.inferred: Dict[str, IterVerdict] = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                self.annotations[node.target.id] = node.annotation
+            elif isinstance(node, ast.Assign) and node.value is not None:
+                verdict = self.classify(node.value, _infer_only=True)
+                if verdict is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            self.inferred[target.id] = verdict
+
+    # ------------------------------------------------------------------
+    def classify(
+        self, expr: ast.expr, _infer_only: bool = False
+    ) -> Optional[IterVerdict]:
+        """Verdict for iterating ``expr``; None means safe/unknown."""
+        if isinstance(expr, ast.Set):
+            if all(
+                isinstance(e, ast.Constant) and isinstance(e.value, int)
+                for e in expr.elts
+            ):
+                return IterVerdict("set", "int")
+            return IterVerdict("set", None)
+        if isinstance(expr, ast.SetComp):
+            return IterVerdict("set", None)
+        if isinstance(expr, ast.Call):
+            return self._classify_call(expr, _infer_only)
+        if isinstance(expr, ast.Name):
+            if not _infer_only:
+                ann = self.annotations.get(expr.id)
+                if ann is not None:
+                    return classify_annotation(ann)
+                return self.inferred.get(expr.id)
+            return None
+        if isinstance(expr, ast.Attribute) and not _infer_only:
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and self.class_name is not None
+            ):
+                ann = self.module.attr_annotations.get(
+                    (self.class_name, expr.attr)
+                )
+                if ann is not None:
+                    return classify_annotation(ann)
+            return None
+        return None
+
+    def _classify_call(
+        self, call: ast.Call, _infer_only: bool
+    ) -> Optional[IterVerdict]:
+        func = call.func
+        name = dotted_name(func)
+        if name == "sorted":
+            return None  # sorted() fixes the order — always safe
+        if name in ("set", "frozenset"):
+            if (
+                len(call.args) == 1
+                and isinstance(call.args[0], ast.Call)
+                and dotted_name(call.args[0].func) == "range"
+            ):
+                return IterVerdict("set", "int")
+            arg_verdict = (
+                self.classify(call.args[0]) if call.args else None
+            )
+            elem = arg_verdict.elem if arg_verdict else None
+            return IterVerdict("set", elem)
+        if name in ("list", "tuple") and len(call.args) == 1:
+            # list(a_set) preserves the set's hash order — recurse.
+            return self.classify(call.args[0], _infer_only)
+        if isinstance(func, ast.Attribute) and func.attr == "keys":
+            receiver = self.classify(func.value)
+            if receiver is not None and receiver.container == "dict_keys":
+                return receiver
+            return None
+        # Same-module function/method with a set/dict return annotation.
+        bare = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if bare is not None and bare in self.module.func_returns:
+            return classify_annotation(self.module.func_returns[bare])
+        return None

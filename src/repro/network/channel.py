@@ -21,7 +21,7 @@ of the new occupant clears a set I flag and re-labels the tree root.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.network.types import GPState, NodeId, PortKind
 from repro.network.topology import Direction
@@ -45,7 +45,7 @@ class VirtualChannel:
 
     __slots__ = ("pc", "index", "capacity", "occupant", "flits")
 
-    def __init__(self, pc: "PhysicalChannel", index: int, capacity: int):
+    def __init__(self, pc: "PhysicalChannel", index: int, capacity: int) -> None:
         self.pc = pc
         self.index = index
         self.capacity = capacity
@@ -128,7 +128,7 @@ class PhysicalChannel:
         direction: Optional[Direction],
         num_vcs: int,
         buffer_depth: int,
-    ):
+    ) -> None:
         self.index = index
         self.kind = kind
         self.src_node = src_node
@@ -144,22 +144,26 @@ class PhysicalChannel:
         self.gp = GPState.PROPAGATE
         self.i_threshold: Optional[int] = None
         self.on_i_reset: Optional[Callable[["PhysicalChannel", int], None]] = None
-        # Input channels whose blocked header waits on this output channel;
-        # maintained only when the selective G/P promotion variant is active.
-        self.waiters: Optional[set] = None
+        # Input channels whose blocked header waits on this output channel
+        # (refcounted); maintained only when the selective G/P promotion
+        # variant is active.
+        self.waiters: Optional[Dict["PhysicalChannel", int]] = None
         # Event-driven quiescence (see repro.network.simulator): parked
         # messages whose feasible set contains this output channel.  They
         # are woken — route_asleep cleared — whenever a lane frees or the
         # channel's inactivity counter resumes from a frozen value (both
         # can only make routing or detection possible *earlier*).
-        self.route_waiters: Optional[set] = None
+        # Insertion-ordered dicts (values unused) rather than sets: waiter
+        # iteration order must not depend on PYTHONHASHSEED.
+        self.route_waiters: Optional[Dict["Message", None]] = None
         # Parked messages whose header sits on this (input) channel; woken
         # by a G/P Propagate->Generate promotion (see repro.core.ndm).
-        self.header_waiters: Optional[set] = None
+        self.header_waiters: Optional[Dict["Message", None]] = None
         # One-element list shared with the simulator, counting messages
         # currently parked for routing; every wake site decrements it so
         # the routing phase knows when its whole pending list is asleep.
-        self.wake_box: Optional[list] = None
+        # (A throwaway box until the simulator installs the shared one.)
+        self.wake_box: List[int] = [0]
         # Counter value latched when the channel became fully unoccupied;
         # the hardware register keeps its value across unoccupied gaps.
         self._frozen_inactivity = 0

@@ -81,7 +81,7 @@ class Message:
         dest: NodeId,
         length: int,
         gen_cycle: int,
-    ):
+    ) -> None:
         if length < 1:
             raise ValueError(f"message length must be >= 1, got {length}")
         if source == dest:

@@ -40,7 +40,7 @@ class Router:
         "busy_network_vcs",
     )
 
-    def __init__(self, node: NodeId):
+    def __init__(self, node: NodeId) -> None:
         self.node = node
         self.output_pcs: Dict[Direction, PhysicalChannel] = {}
         self.output_pc_list: List[PhysicalChannel] = []

@@ -15,10 +15,13 @@ find a deadlock).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import TYPE_CHECKING, List, Tuple
 
 from repro.network.topology import Direction, Topology
 from repro.network.types import NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.network.channel import PhysicalChannel, VirtualChannel
 
 
 class RoutingFunction:
@@ -46,7 +49,13 @@ class RoutingFunction:
         """
         raise NotImplementedError
 
-    def allowed_vcs(self, topology, pc, current: NodeId, dest: NodeId):
+    def allowed_vcs(
+        self,
+        topology: Topology,
+        pc: "PhysicalChannel",
+        current: NodeId,
+        dest: NodeId,
+    ) -> List["VirtualChannel"]:
         """Virtual channels of ``pc`` this message's header may acquire.
 
         Only consulted when ``uses_vc_classes`` is True; the default grants
@@ -166,7 +175,13 @@ class DuatoAdaptive(RoutingFunction):
             return 0 if c > d else 1  # still has to wrap / already past
         return 0 if c < d else 1
 
-    def allowed_vcs(self, topology, pc, current: NodeId, dest: NodeId):
+    def allowed_vcs(
+        self,
+        topology: Topology,
+        pc: "PhysicalChannel",
+        current: NodeId,
+        dest: NodeId,
+    ) -> List["VirtualChannel"]:
         num_escape = min(self.num_escape_vcs, max(len(pc.vcs) - 1, 1))
         lanes = list(pc.vcs[num_escape:])  # adaptive lanes: always allowed
         direction = pc.direction

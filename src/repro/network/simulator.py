@@ -47,7 +47,7 @@ import heapq
 import random
 from collections import deque
 from time import perf_counter
-from typing import Deque, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.analysis.deadlock import find_deadlocked
 from repro.metrics.stats import SimulationStats
@@ -59,6 +59,9 @@ from repro.network.routing import make_routing_function
 from repro.network.types import DetectionEvent, MessageStatus, NodeId, PortKind
 from repro.traffic.workload import Workload
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.network.tracing import Tracer
+
 #: Keys of the per-phase wall-time accumulators in ``stats.phase_time``.
 PHASES = ("checks", "routing", "movement", "injection", "generation")
 
@@ -66,7 +69,7 @@ PHASES = ("checks", "routing", "movement", "injection", "generation")
 class Simulator:
     """One simulation instance built from a :class:`SimulationConfig`."""
 
-    def __init__(self, config: SimulationConfig):
+    def __init__(self, config: SimulationConfig) -> None:
         config.validate()
         self.config = config
         self.topology = config.build_topology()
@@ -103,12 +106,12 @@ class Simulator:
         self._detector_can_sleep = self.detector.can_sleep_blocked
         #: (deadline_cycle, seq, message) heap of sleeping headers whose
         #: detector predicate can first become true at deadline_cycle.
-        self._route_deadlines: List = []
+        self._route_deadlines: List[Tuple[int, int, Message]] = []
         self._deadline_seq = 0
         #: Shared one-element counter of currently route-parked messages;
         #: channels and the NDM decrement it on wake, so the routing phase
         #: can tell in O(1) when its entire pending list is asleep.
-        self._route_parked_box = [0]
+        self._route_parked_box: List[int] = [0]
         for pc in self.channels:
             pc.wake_box = self._route_parked_box
         #: Count of currently move-parked worms (simulator-internal: the
@@ -128,7 +131,7 @@ class Simulator:
         self._input_limit = config.crossbar_input_limit
         #: Optional structured event recorder (see repro.network.tracing);
         #: assign a Tracer instance to enable, None keeps the hot path free.
-        self.tracer = None
+        self.tracer: Optional[Tracer] = None
         self.generation_enabled = True
         self._next_message_id = 0
         self.active_messages: List[Message] = []
@@ -145,7 +148,7 @@ class Simulator:
         self._truth_cache: Set[Message] = set()
         self._ever_deadlocked: Set[int] = set()
         # (ready_cycle, seq, message) heap of recovery-lane deliveries.
-        self._recovery_deliveries: List = []
+        self._recovery_deliveries: List[Tuple[int, int, Message]] = []
         self._recovery_seq = 0
 
     # ------------------------------------------------------------------
@@ -343,18 +346,21 @@ class Simulator:
         recomputed deadline on the next failed attempt.
         """
         if not m.wait_registered:
+            # Waiter collections are insertion-ordered dicts, not sets:
+            # the wake loops iterate them, and iteration order must not
+            # depend on PYTHONHASHSEED (see DET003 in repro.lint).
             m.wait_registered = True
             for pc in m.feasible_pcs:
                 waiters = pc.route_waiters
                 if waiters is None:
-                    waiters = pc.route_waiters = set()
-                waiters.add(m)
+                    waiters = pc.route_waiters = {}
+                waiters[m] = None
             ipc = m.input_pc
             if ipc is not None:
-                waiters = ipc.header_waiters
-                if waiters is None:
-                    waiters = ipc.header_waiters = set()
-                waiters.add(m)
+                hwaiters = ipc.header_waiters
+                if hwaiters is None:
+                    hwaiters = ipc.header_waiters = {}
+                hwaiters[m] = None
         if m.marked_deadlocked:
             # Already detected (recovery "none"): only a VC release matters.
             m.route_asleep = True
@@ -376,14 +382,14 @@ class Simulator:
         self._n_route_parks += 1
 
     def _unregister_parked(self, m: Message) -> None:
-        """Drop ``m`` from all waiter sets (before feasible_pcs is cleared)."""
+        """Drop ``m`` from all waiter maps (before feasible_pcs is cleared)."""
         m.wait_registered = False
         for pc in m.feasible_pcs:
             if pc.route_waiters is not None:
-                pc.route_waiters.discard(m)
+                pc.route_waiters.pop(m, None)
         ipc = m.input_pc
         if ipc is not None and ipc.header_waiters is not None:
-            ipc.header_waiters.discard(m)
+            ipc.header_waiters.pop(m, None)
 
     def _attempt_route(self, m: Message, cycle: int) -> bool:
         """Try to allocate an output VC for ``m``'s header; True on success."""
@@ -858,7 +864,8 @@ class Simulator:
             st.truth_sweeps_with_deadlock += 1
             if len(deadlocked) > st.max_deadlock_set_size:
                 st.max_deadlock_set_size = len(deadlocked)
-            for m in deadlocked:
+            # Order-insensitive: only ids are unioned into a set.
+            for m in deadlocked:  # repro-lint: disable=DET003
                 self._ever_deadlocked.add(m.id)
             st.truly_deadlocked_messages = len(self._ever_deadlocked)
 

@@ -34,7 +34,7 @@ class Topology:
     #: Whether rings wrap around (torus) or not (mesh).
     wraps: bool = False
 
-    def __init__(self, radix: int, dimensions: int):
+    def __init__(self, radix: int, dimensions: int) -> None:
         if radix < 2:
             raise ValueError(f"radix must be >= 2, got {radix}")
         if dimensions < 1:

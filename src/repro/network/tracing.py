@@ -19,9 +19,9 @@ Event kinds (first tuple element):
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterable, List, Optional, Tuple
+from typing import Any, Deque, Iterable, List, Optional, Tuple
 
-Event = Tuple  # ("kind", cycle, message_id, ...)
+Event = Tuple[Any, ...]  # ("kind", cycle, message_id, ...)
 
 
 class Tracer:
@@ -33,7 +33,7 @@ class Tracer:
         kinds: optional whitelist of event kinds to record.
     """
 
-    def __init__(self, capacity: int = 100_000, kinds: Optional[Iterable[str]] = None):
+    def __init__(self, capacity: int = 100_000, kinds: Optional[Iterable[str]] = None) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity

@@ -29,7 +29,7 @@ class FixedLength(LengthSpec):
 
     name = "fixed"
 
-    def __init__(self, flits: int):
+    def __init__(self, flits: int) -> None:
         if flits < 1:
             raise ValueError(f"message length must be >= 1 flit, got {flits}")
         self.flits = flits
@@ -49,7 +49,7 @@ class BimodalLength(LengthSpec):
 
     name = "bimodal"
 
-    def __init__(self, short: int = 16, long: int = 64, short_fraction: float = 0.6):
+    def __init__(self, short: int = 16, long: int = 64, short_fraction: float = 0.6) -> None:
         if short < 1 or long < 1:
             raise ValueError("message lengths must be >= 1 flit")
         if not 0.0 <= short_fraction <= 1.0:
@@ -80,7 +80,7 @@ class UniformLength(LengthSpec):
 
     name = "uniform"
 
-    def __init__(self, low: int, high: int):
+    def __init__(self, low: int, high: int) -> None:
         if low < 1 or high < low:
             raise ValueError(f"need 1 <= low <= high, got [{low}, {high}]")
         self.low = low

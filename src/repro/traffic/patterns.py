@@ -15,7 +15,7 @@ A permutation may map a node to itself; such nodes generate no traffic
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Type
+from typing import Dict, Optional, Tuple, Type
 
 from repro.network.topology import Topology
 from repro.network.types import NodeId
@@ -26,7 +26,7 @@ class TrafficPattern:
 
     name = "abstract"
 
-    def __init__(self, topology: Topology):
+    def __init__(self, topology: Topology) -> None:
         self.topology = topology
 
     def destination(self, source: NodeId, rng: random.Random) -> Optional[NodeId]:
@@ -68,7 +68,7 @@ class LocalityPattern(TrafficPattern):
 
     name = "locality"
 
-    def __init__(self, topology: Topology, radius: int = 1):
+    def __init__(self, topology: Topology, radius: int = 1) -> None:
         super().__init__(topology)
         if radius < 1:
             raise ValueError(f"locality radius must be >= 1, got {radius}")
@@ -97,7 +97,7 @@ class LocalityPattern(TrafficPattern):
 class _BitPermutationPattern(TrafficPattern):
     """Base for fixed permutations of the node-index bits."""
 
-    def __init__(self, topology: Topology):
+    def __init__(self, topology: Topology) -> None:
         super().__init__(topology)
         n = topology.num_nodes
         if n & (n - 1):
@@ -150,12 +150,12 @@ class ButterflyPattern(_BitPermutationPattern):
     def permute(self, index: int) -> int:
         hi = 1 << (self.bits - 1)
         lo = 1
-        h = 1 if index & hi else 0
-        l = index & lo
+        high_bit = 1 if index & hi else 0
+        low_bit = index & lo
         out = index & ~(hi | lo)
-        if l:
+        if low_bit:
             out |= hi
-        if h:
+        if high_bit:
             out |= lo
         return out
 
@@ -195,7 +195,7 @@ class HotSpotPattern(TrafficPattern):
         topology: Topology,
         fraction: float = 0.05,
         hot_node: Optional[NodeId] = None,
-    ):
+    ) -> None:
         super().__init__(topology)
         if not 0.0 < fraction < 1.0:
             raise ValueError(f"hot-spot fraction must be in (0, 1), got {fraction}")
@@ -243,6 +243,6 @@ def make_pattern(name: str, topology: Topology, **params: object) -> TrafficPatt
     return cls(topology, **params)  # type: ignore[arg-type]
 
 
-def pattern_names() -> tuple:
+def pattern_names() -> Tuple[str, ...]:
     """Names accepted by :func:`make_pattern`."""
     return tuple(sorted(_PATTERNS))

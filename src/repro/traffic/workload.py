@@ -29,7 +29,7 @@ class Workload:
         topology: network topology (patterns need coordinates / node count).
     """
 
-    def __init__(self, config: TrafficConfig, topology: Topology):
+    def __init__(self, config: TrafficConfig, topology: Topology) -> None:
         self.config = config
         self.pattern: TrafficPattern = make_pattern(
             config.pattern, topology, **config.pattern_params

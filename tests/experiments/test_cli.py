@@ -104,8 +104,6 @@ class TestLatencyCommand:
         from repro.experiments import cli as cli_module
 
         # Shrink the sweep: tiny base config, few steps.
-        from repro.experiments import spec as spec_module
-
         def tiny_base(full=None):
             from tests.conftest import small_config
 

@@ -4,7 +4,6 @@ These tests validate the *published* numbers we compare against — shape
 properties the paper itself claims, which our transcription must satisfy.
 """
 
-import pytest
 
 from repro.experiments.paper_data import (
     PAPER_TABLES,

@@ -1,6 +1,5 @@
 """Seed sensitivity: the reproduction's shapes must not be seed artifacts."""
 
-import pytest
 
 from repro.network.config import SimulationConfig
 from repro.network.simulator import Simulator

@@ -1,0 +1,17 @@
+"""Offending fixture: wall-clock reads inside a hot-path module."""
+
+import time
+from datetime import datetime
+from time import time as now  # expect: DET001
+
+
+def stamp() -> float:
+    return time.time()  # expect: DET001
+
+
+def label() -> str:
+    return str(datetime.now())  # expect: DET001
+
+
+def epoch() -> float:
+    return now()  # expect: DET001

@@ -1,0 +1,16 @@
+"""Clean fixture: monotonic telemetry clocks are allowed in hot paths."""
+
+import time
+from time import perf_counter
+
+
+def elapsed(start: float) -> float:
+    return time.perf_counter() - start
+
+
+def tick() -> float:
+    return perf_counter()
+
+
+def budget() -> float:
+    return time.process_time()

@@ -1,0 +1,22 @@
+"""Offending fixture: module-level RNG state."""
+
+import random
+
+import numpy
+from random import randrange  # expect: DET002
+
+
+def draw() -> float:
+    return random.random()  # expect: DET002
+
+
+def shuffle(items: list) -> None:
+    random.shuffle(items)  # expect: DET002
+
+
+def noisy() -> object:
+    return numpy.random.rand(4)  # expect: DET002
+
+
+def pick() -> int:
+    return randrange(8)

@@ -1,0 +1,14 @@
+"""Clean fixture: a seeded random.Random instance threaded explicitly."""
+
+import random
+from random import Random
+
+
+def draw(seed: int) -> float:
+    rng = Random(seed)
+    return rng.random()
+
+
+def draw_via_module(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()

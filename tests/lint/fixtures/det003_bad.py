@@ -1,0 +1,32 @@
+"""Offending fixture: hash-ordered iteration in an order-sensitive module."""
+
+from typing import Dict, Set
+
+
+class Channel:
+    waiters: Set["Message"]
+
+    def wake_all(self) -> None:
+        for waiter in self.waiters:  # expect: DET003
+            waiter.retry()
+
+    def snapshot(self) -> None:
+        for waiter in list(self.waiters):  # expect: DET003
+            waiter.poke()
+
+
+def drain() -> None:
+    parked = {object(), object()}
+    for item in parked:  # expect: DET003
+        item.drop()
+
+
+def scan_keys() -> None:
+    table: Dict[str, int] = {}
+    for key in table.keys():  # expect: DET003
+        print(key)
+
+
+def comprehension() -> list:
+    blocked: Set["Message"] = set()
+    return [m for m in blocked]  # expect: DET003

@@ -1,0 +1,32 @@
+"""Clean fixture: deterministic iteration patterns."""
+
+from typing import Dict, Set
+
+
+class Channel:
+    waiters: Set["Message"]
+    route_waiters: Dict["Message", None]
+
+    def wake_sorted(self) -> None:
+        for waiter in sorted(self.waiters, key=id):
+            waiter.retry()
+
+    def wake_ordered(self) -> None:
+        # Insertion-ordered dict iteration is deterministic.
+        for waiter in self.route_waiters:
+            waiter.retry()
+
+
+def int_sets() -> None:
+    nodes = set(range(8))
+    for node in nodes:
+        print(node)
+    ids = {1, 2, 3}
+    for i in ids:
+        print(i)
+
+
+def int_keyed_dict() -> None:
+    table: Dict[int, str] = {}
+    for node in table.keys():
+        print(node)

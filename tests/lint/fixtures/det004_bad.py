@@ -1,0 +1,9 @@
+"""Offending fixture: numpy inside a simulation-kernel package."""
+
+import numpy  # expect: DET004
+import numpy.linalg  # expect: DET004
+from numpy import asarray  # expect: DET004
+
+
+def as_vector(values: list) -> object:
+    return asarray(values)

@@ -1,0 +1,7 @@
+"""Clean fixture: the simulation kernel stays pure python."""
+
+from typing import List
+
+
+def mean(values: List[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

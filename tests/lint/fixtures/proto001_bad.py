@@ -1,0 +1,33 @@
+"""Offending fixture: detector subclasses violating the event contract."""
+
+from repro.core.detector import DeadlockDetector
+
+
+class SilentDetector(DeadlockDetector):  # expect: PROTO001
+    """Overrides on_blocked_attempt but the event engine would sleep."""
+
+    name = "silent"
+
+    def on_blocked_attempt(self, message, cycle):
+        return None
+
+
+class PollingDetector(DeadlockDetector):  # expect: PROTO001
+    """Overrides periodic_check without opting into periodic wakeups."""
+
+    name = "polling"
+
+    def blocked_deadline(self, message, cycle):
+        return cycle + 8
+
+    def periodic_check(self, cycle):
+        return None
+
+
+class NamelessDetector(DeadlockDetector):  # expect: PROTO001
+    """Concrete detector that never overrides the abstract name."""
+
+    can_sleep_blocked = False
+
+    def on_blocked_attempt(self, message, cycle):
+        return None

@@ -1,0 +1,12 @@
+"""Cross-file fixture: a detector base linted as a separate module."""
+
+from repro.core.detector import DeadlockDetector
+
+
+class RemoteBase(DeadlockDetector):
+    """Provides the deadline and name for subclasses in other files."""
+
+    name = "remote"
+
+    def blocked_deadline(self, message, cycle):
+        return cycle + 16

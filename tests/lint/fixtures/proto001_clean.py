@@ -1,0 +1,49 @@
+"""Clean fixture: detector subclasses honouring the event contract."""
+
+from repro.core.detector import DeadlockDetector
+
+
+class DeadlineDetector(DeadlockDetector):
+    """Blocked hook paired with a wakeup deadline."""
+
+    name = "deadline"
+
+    def on_blocked_attempt(self, message, cycle):
+        return None
+
+    def blocked_deadline(self, message, cycle):
+        return cycle + 32
+
+
+class EagerBase(DeadlockDetector):
+    """Intermediate base that forbids sleeping through blocks."""
+
+    name = "eager"
+    can_sleep_blocked = False
+
+
+class EagerDetector(EagerBase):
+    """Inherits can_sleep_blocked = False through a same-module base."""
+
+    def on_blocked_attempt(self, message, cycle):
+        return None
+
+
+class TickingDetector(DeadlockDetector):
+    """Periodic hook paired with the opt-in flag."""
+
+    name = "ticking"
+    needs_periodic_check = True
+
+    def blocked_deadline(self, message, cycle):
+        return cycle + 8
+
+    def periodic_check(self, cycle):
+        return None
+
+
+class Unrelated:
+    """Same method names outside the detector hierarchy are ignored."""
+
+    def on_blocked_attempt(self, message, cycle):
+        return None

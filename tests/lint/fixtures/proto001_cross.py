@@ -1,0 +1,17 @@
+"""Cross-file fixture: subclasses whose base lives in proto001_base."""
+
+from proto001_base import RemoteBase
+
+
+class CrossDetector(RemoteBase):
+    """Clean: inherits blocked_deadline and name across files."""
+
+    def on_blocked_attempt(self, message, cycle):
+        return None
+
+
+class CrossPoller(RemoteBase):  # expect: PROTO001
+    """Offending: periodic_check without needs_periodic_check = True."""
+
+    def periodic_check(self, cycle):
+        return None

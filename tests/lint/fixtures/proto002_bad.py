@@ -1,0 +1,26 @@
+"""Offending fixture: stats serialization drifting from declared fields."""
+
+from typing import Any, Dict
+
+
+class BogusStats:
+    cycles: int = 0
+    engine: str = "scan"
+
+    PERF_FIELDS = (
+        "engine",
+        "phase_tme",  # expect: PROTO002
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {}
+        payload["cycles"] = self.cycles
+        payload["latency"] = 0.0  # expect: PROTO002
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BogusStats":
+        stats = cls()
+        stats.engine = data["engine"]
+        stats.cycles = data.pop("ghost", 0)  # expect: PROTO002
+        return stats

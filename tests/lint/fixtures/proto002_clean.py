@@ -1,0 +1,24 @@
+"""Clean fixture: serializers and PERF_FIELDS name declared fields only."""
+
+from typing import Any, Dict
+
+
+class TidyStats:
+    cycles: int = 0
+    engine: str = "scan"
+    phase_time: float = 0.0
+
+    PERF_FIELDS = ("engine", "phase_time")
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {}
+        payload["cycles"] = self.cycles
+        payload["engine"] = self.engine
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TidyStats":
+        stats = cls()
+        stats.cycles = data.get("cycles", 0)
+        stats.phase_time = data.pop("phase_time", 0.0)
+        return stats

@@ -1,0 +1,12 @@
+# repro-lint: disable-file=DET001
+"""A file-wide disable covers every occurrence of the code."""
+
+import time
+
+
+def first() -> float:
+    return time.time()
+
+
+def second() -> float:
+    return time.time()

@@ -1,0 +1,93 @@
+"""CLI and registry behaviour: exit codes, JSON output, rule catalog."""
+
+import json
+
+import pytest
+
+from repro import cli as umbrella
+from repro.lint.cli import main as lint_main
+from repro.lint.registry import Rule, all_rules, get_rule, register_rule
+
+# PROTO002 applies repo-wide, so a bare temporary file trips it without
+# needing a module-name override.
+CLI_BAD = '''\
+class Stats:
+    engine: str = "scan"
+
+    PERF_FIELDS = ("engine", "missing")
+
+    def to_dict(self):
+        return {}
+'''
+
+
+def test_cli_exit_one_and_json_output(tmp_path, capsys):
+    bad = tmp_path / "stats.py"
+    bad.write_text(CLI_BAD)
+    assert lint_main([str(bad), "--format=json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 1
+    finding = payload[0]
+    assert finding["code"] == "PROTO002"
+    assert finding["line"] == 4
+    assert finding["path"] == str(bad)
+    assert "missing" in finding["message"]
+    assert finding["hint"]
+
+
+def test_cli_exit_zero_on_clean_file(tmp_path, capsys):
+    clean = tmp_path / "ok.py"
+    clean.write_text("x = 1\n")
+    assert lint_main([str(clean)]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s) in 1 file" in out
+
+
+def test_cli_verbose_shows_autofix_hint(tmp_path, capsys):
+    bad = tmp_path / "stats.py"
+    bad.write_text(CLI_BAD)
+    assert lint_main([str(bad), "--verbose"]) == 1
+    out = capsys.readouterr().out
+    assert "PROTO002" in out
+    assert "hint:" in out
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.code in out
+
+
+def test_umbrella_cli_routes_lint(tmp_path, capsys):
+    clean = tmp_path / "ok.py"
+    clean.write_text("x = 1\n")
+    assert umbrella.main(["lint", str(clean)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_rule_catalog_complete_and_documented():
+    codes = [rule.code for rule in all_rules()]
+    assert codes == sorted(codes)
+    assert set(codes) == {
+        "DET001",
+        "DET002",
+        "DET003",
+        "DET004",
+        "PROTO001",
+        "PROTO002",
+    }
+    for rule in all_rules():
+        assert rule.summary
+        assert rule.hint
+    assert get_rule("DET003").code == "DET003"
+
+
+def test_register_rule_rejects_duplicate_codes():
+    with pytest.raises(ValueError):
+
+        @register_rule
+        class Duplicate(Rule):  # noqa: F811 - intentionally clashing
+            code = "DET001"
+            summary = "duplicate"
+            hint = "duplicate"

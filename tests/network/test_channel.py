@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.network.channel import NEVER, PhysicalChannel, VirtualChannel
+from repro.network.channel import NEVER, PhysicalChannel
 from repro.network.types import GPState, PortKind
 
 

@@ -101,3 +101,49 @@ print(hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest())
         env=env,
     )
     assert result.stdout.strip() == _digest()
+
+
+def _digest_under_hashseed(hashseed: str) -> str:
+    """Run a saturated simulation in a subprocess with a fixed hash seed.
+
+    The load is pushed past saturation so blocked headers actually park in
+    the per-channel waiter collections — the code path whose iteration
+    order used to depend on object hashes.
+    """
+    script = f"""
+import hashlib, json
+from repro.network.config import SimulationConfig
+from repro.network.simulator import Simulator
+
+config = SimulationConfig(**{_CONFIG_KWARGS!r})
+config.traffic.injection_rate = 0.6
+stats = Simulator(config).run()
+payload = stats.to_dict(include_events=False, include_perf=False)
+print(hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest())
+"""
+    src_dir = Path(simulator_module.__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(src_dir), env.get("PYTHONPATH")])
+    )
+    env["PYTHONHASHSEED"] = hashseed
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    )
+    return result.stdout.strip()
+
+
+def test_run_identical_across_hash_seeds():
+    """Waiter wakeup order must not depend on PYTHONHASHSEED.
+
+    Before waiter sets became insertion-ordered dicts, the event engine
+    woke parked headers in ``set`` iteration order — i.e. object-hash
+    order — so runs could diverge between interpreters with different
+    hash randomization.  Two subprocesses with different explicit hash
+    seeds must produce byte-identical stats.
+    """
+    assert _digest_under_hashseed("0") == _digest_under_hashseed("4242")

@@ -1,6 +1,5 @@
 """Edge-case simulator tests: unusual topologies, boundaries, teardown."""
 
-import pytest
 
 from repro.network.message import Message
 from repro.network.simulator import Simulator

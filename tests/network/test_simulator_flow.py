@@ -1,10 +1,9 @@
 """Flit-level flow control: bandwidth sharing, chaining, tail release."""
 
-import pytest
 
 from repro.network.message import Message
 from repro.network.simulator import Simulator
-from repro.network.types import MessageStatus, PortKind
+from repro.network.types import MessageStatus
 from tests.conftest import small_config
 
 

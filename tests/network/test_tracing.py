@@ -4,7 +4,6 @@ import pytest
 
 from repro.network.simulator import Simulator
 from repro.network.tracing import Tracer, format_event
-from repro.network.types import MessageStatus
 from tests.conftest import small_config
 
 
