@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Iterable, List, Set
 
 from repro.network.message import Message
+from repro.network.types import MessageStatus
 
 
 def find_deadlocked(messages: Iterable[Message]) -> Set[Message]:
@@ -35,41 +36,57 @@ def find_deadlocked(messages: Iterable[Message]) -> Set[Message]:
     routing attempt, no output granted) can participate; everything else is
     treated as able to advance.
     """
-    candidates = [m for m in messages if m.is_blocked() and m.spans]
+    # The blocked test is inlined (attribute reads instead of a method
+    # call per message): this oracle runs on every detection event, so
+    # its constant factors are on the simulator's hot path.
+    in_network = MessageStatus.IN_NETWORK
+    candidates = [
+        m
+        for m in messages
+        if m.first_attempt_done
+        and m.allocated_vc is None
+        and m.status is in_network
+        and m.spans
+    ]
     if not candidates:
         return set()
 
     # The reduction fixpoint is confluent (the irreducible set is unique),
     # but we still reduce in a deterministic order — iterating the stable
     # candidate list, not the hash-ordered set — so intermediate states
-    # and work done are identical across PYTHONHASHSEED values.
+    # and work done are identical across PYTHONHASHSEED values.  The
+    # escape test is inlined in the pass loop; in the common wedged-network
+    # case the fixpoint converges in two passes, so per-call overhead
+    # dominates any asymptotically cleverer scheme.
     deadlocked: Set[Message] = set(candidates)
     changed = True
     while changed:
         changed = False
         for m in candidates:
-            if m in deadlocked and _has_escape(m, deadlocked):
+            if m not in deadlocked:
+                continue
+            lanes = m.feasible_vcs
+            if lanes is None:
+                escaped = False
+                for pc in m.feasible_pcs:
+                    for vc in pc.vcs:
+                        occupant = vc.occupant
+                        if occupant is None or occupant not in deadlocked:
+                            escaped = True
+                            break
+                    if escaped:
+                        break
+            else:
+                escaped = False
+                for vc in lanes:
+                    occupant = vc.occupant
+                    if occupant is None or occupant not in deadlocked:
+                        escaped = True
+                        break
+            if escaped:
                 deadlocked.discard(m)
                 changed = True
     return deadlocked
-
-
-def _has_escape(message: Message, deadlocked: Set[Message]) -> bool:
-    """Whether some feasible VC is free or held outside ``deadlocked``."""
-    if message.feasible_vcs is not None:
-        # VC-class routing (e.g. Duato escape lanes): only the lanes the
-        # routing function permits can free this header.
-        for vc in message.feasible_vcs:
-            occupant = vc.occupant
-            if occupant is None or occupant not in deadlocked:
-                return True
-        return False
-    for pc in message.feasible_pcs:
-        for vc in pc.vcs:
-            occupant = vc.occupant
-            if occupant is None or occupant not in deadlocked:
-                return True
-    return False
 
 
 def waiting_chain(message: Message, limit: int = 32) -> List[Message]:

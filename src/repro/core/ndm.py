@@ -38,7 +38,7 @@ Protocol, exactly as described in the paper:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
 
 from repro.core.detector import DeadlockDetector
 from repro.network.channel import PhysicalChannel, VirtualChannel
@@ -88,9 +88,19 @@ class NewDetectionMechanism(DeadlockDetector):
             if pc.kind is not PortKind.INJECTION:
                 # Output side of some router: arm the I-flag reset hook.
                 pc.i_threshold = self.t1
-                pc.on_i_reset = self._on_i_reset
                 if self.selective_promotion:
+                    pc.on_i_reset = self._on_i_reset
                     pc.waiters = {}
+                else:
+                    # The simple variant promotes a fixed set of inputs
+                    # (all of the owning router's); resolve that set once
+                    # here and close over it — the hook fires on every
+                    # flit that clears a set I flag, so the per-event
+                    # router lookup is worth removing.
+                    router = sim.routers[pc.src_node]
+                    pc.on_i_reset = self._simple_reset_hook(
+                        tuple(router.input_pcs) + tuple(router.injection_pcs)
+                    )
 
     # ------------------------------------------------------------------
     # Routing-attempt protocol
@@ -178,19 +188,33 @@ class NewDetectionMechanism(DeadlockDetector):
             self._unregister_waiter(message)
 
     def _on_i_reset(self, pc: PhysicalChannel, cycle: int) -> None:
-        """A stalled output channel advanced again: relabel tree roots."""
-        if self.selective_promotion:
-            if pc.waiters:
-                for input_pc in pc.waiters:
-                    self._promote(input_pc)
-            return
-        # Simple implementation from the paper: change all P flags in the
-        # router that owns this output channel to G.
-        router = self.sim.routers[pc.src_node]
-        for input_pc in router.input_pcs:
-            self._promote(input_pc)
-        for input_pc in router.injection_pcs:
-            self._promote(input_pc)
+        """A stalled output channel advanced again: relabel tree roots.
+
+        Only armed for the selective variant; the simple variant uses the
+        precomputed closure from :meth:`_simple_reset_hook`.
+        """
+        if pc.waiters:
+            for input_pc in pc.waiters:
+                self._promote(input_pc)
+
+    def _simple_reset_hook(
+        self, targets: Tuple[PhysicalChannel, ...]
+    ) -> Callable[[PhysicalChannel, int], None]:
+        """Reset hook for the paper's simple promotion rule.
+
+        Changes all P flags in the router that owns the output channel to
+        G.  The target inputs are resolved at attach time and the
+        already-G check is inlined: the hook fires on every flit that
+        clears a set I flag, and most inputs are already G by then.
+        """
+        promote = self._promote
+
+        def hook(pc: PhysicalChannel, cycle: int) -> None:
+            for input_pc in targets:
+                if input_pc.gp is not _G:
+                    promote(input_pc)
+
+        return hook
 
     @staticmethod
     def _promote(input_pc: PhysicalChannel) -> None:

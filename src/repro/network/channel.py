@@ -21,7 +21,7 @@ of the new occupant clears a set I flag and re-labels the tree root.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.network.types import GPState, NodeId, PortKind
 from repro.network.topology import Direction
@@ -32,6 +32,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
 #: Sentinel meaning "never": far enough in the past that any difference with a
 #: real cycle number exceeds every practical threshold.
 NEVER = -(1 << 60)
+
+#: Widest channel for which the mask -> free-lane-tuple table is built
+#: (the table has 2**num_vcs entries per channel).  Wider channels fall
+#: back to scanning ``vcs`` — same result, without the table memory.
+MASK_TABLE_MAX_VCS = 8
 
 
 class VirtualChannel:
@@ -62,6 +67,7 @@ class VirtualChannel:
             raise RuntimeError(
                 f"{self} already occupied by message {self.occupant.id}"
             )
+        self.pc.free_mask &= ~(1 << self.index)
         self.pc.note_occupied(cycle)
         self.occupant = message
 
@@ -71,6 +77,7 @@ class VirtualChannel:
             raise RuntimeError(f"{self} released while already free")
         self.occupant = None
         self.flits = 0
+        self.pc.free_mask |= 1 << self.index
         self.pc.note_released(cycle)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -105,6 +112,8 @@ class PhysicalChannel:
         "dst_node",
         "direction",
         "vcs",
+        "free_mask",
+        "lanes_by_mask",
         "occupied_count",
         "last_flit_cycle",
         "active_since",
@@ -137,6 +146,22 @@ class PhysicalChannel:
         self.vcs: List[VirtualChannel] = [
             VirtualChannel(self, i, buffer_depth) for i in range(num_vcs)
         ]
+        # Incremental free-lane structure: bit ``i`` of ``free_mask`` is
+        # set iff lane ``i`` is unoccupied, maintained by VirtualChannel
+        # allocate/release as two integer ops.  ``lanes_by_mask[mask]``
+        # is the precomputed tuple of free lanes for that mask, in
+        # lane-index order — the exact order a scan of ``vcs`` would
+        # collect them, so ``rng.choice`` over it draws identically.
+        # The table is skipped for very wide channels (2**n entries).
+        self.free_mask = (1 << num_vcs) - 1
+        self.lanes_by_mask: Optional[List[Tuple[VirtualChannel, ...]]] = None
+        if num_vcs <= MASK_TABLE_MAX_VCS:
+            self.lanes_by_mask = [
+                tuple(
+                    vc for vc in self.vcs if mask & (1 << vc.index)
+                )
+                for mask in range(1 << num_vcs)
+            ]
         self.occupied_count = 0
         self.last_flit_cycle = NEVER
         self.active_since = NEVER
@@ -261,9 +286,22 @@ class PhysicalChannel:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @property
+    def free_lanes(self) -> Tuple[VirtualChannel, ...]:
+        """The currently unoccupied lanes, in lane-index order.
+
+        Hot paths read ``lanes_by_mask[free_mask]`` inline instead; this
+        accessor serves checks, tests and wide-channel fallback.
+        """
+        table = self.lanes_by_mask
+        if table is not None:
+            return table[self.free_mask]
+        mask = self.free_mask
+        return tuple(vc for vc in self.vcs if mask & (1 << vc.index))
+
     def free_vcs(self) -> List[VirtualChannel]:
-        """The currently unoccupied lanes of this channel."""
-        return [vc for vc in self.vcs if vc.occupant is None]
+        """The currently unoccupied lanes of this channel (index order)."""
+        return list(self.free_lanes)
 
     def has_free_vc(self) -> bool:
         """Whether any lane of this channel is unoccupied."""

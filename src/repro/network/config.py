@@ -115,6 +115,13 @@ class SimulationConfig:
     #: ``tests/network/test_engine_equivalence.py``); "event" is much
     #: faster at and beyond saturation.
     engine: str = "event"
+    #: Record wall-clock time per simulation phase (``stats.phase_time``)
+    #: via two ``perf_counter`` calls per phase per cycle.  Off by default:
+    #: the timer calls themselves are measurable on the hot path, so they
+    #: are only taken when profiling is requested (the perf harness and
+    #: ``docs/performance.md`` workflows turn this on).  With the flag off
+    #: ``phase_time`` stays at its zero-initialized values.
+    profile_phases: bool = False
 
     # --- run control ------------------------------------------------------
     seed: int = 1

@@ -143,18 +143,19 @@ class Message:
 
     def header_router(self) -> Optional[NodeId]:
         """Router at which the header waits / was last buffered."""
-        vc = self.header_vc
-        if vc is None:
+        spans = self.spans
+        if not spans:
             return None
-        if vc.pc.kind is PortKind.EJECTION:
-            return vc.pc.src_node
-        return vc.pc.dst_node
+        pc = spans[-1].pc
+        if pc.kind is PortKind.EJECTION:
+            return pc.src_node
+        return pc.dst_node
 
     @property
     def input_pc(self) -> Optional[PhysicalChannel]:
         """Physical input channel containing the header (for G/P logic)."""
-        vc = self.header_vc
-        return None if vc is None else vc.pc
+        spans = self.spans
+        return spans[-1].pc if spans else None
 
     def flits_in_network(self) -> int:
         return sum(vc.flits for vc in self.spans)

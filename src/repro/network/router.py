@@ -91,12 +91,19 @@ class Router:
         return self.input_pcs + self.injection_pcs
 
     def free_injection_vc(self) -> Optional[VirtualChannel]:
-        """A free virtual channel on any injection port, or ``None``."""
+        """A free virtual channel on any injection port, or ``None``.
+
+        ``free_lanes`` is kept in lane-index order, so the first entry is
+        the lowest-index free lane — the same lane a scan of ``pc.vcs``
+        would have returned.
+        """
         for pc in self.injection_pcs:
-            if pc.occupied_count < len(pc.vcs):
-                for vc in pc.vcs:
-                    if vc.occupant is None:
-                        return vc
+            table = pc.lanes_by_mask
+            lanes = (
+                table[pc.free_mask] if table is not None else pc.free_lanes
+            )
+            if lanes:
+                return lanes[0]
         return None
 
     def describe(self) -> str:  # pragma: no cover - cosmetic

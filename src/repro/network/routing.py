@@ -15,7 +15,7 @@ find a deadlock).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.network.topology import Direction, Topology
 from repro.network.types import NodeId
@@ -70,15 +70,28 @@ class TrueFullyAdaptive(RoutingFunction):
     name = "fully-adaptive"
     deadlock_prone = True
 
+    def __init__(self) -> None:
+        # (current, dest) -> direction tuple.  The map is pure in the
+        # topology, and a routing-function instance serves exactly one
+        # simulator (one topology), so the cache is sound; it caps out at
+        # num_nodes**2 entries and turns the per-hop minimal-direction
+        # computation into a dict hit on the routing hot path.
+        self._cache: Dict[Tuple[NodeId, NodeId], Tuple[Direction, ...]] = {}
+
     def candidates(
         self, topology: Topology, current: NodeId, dest: NodeId
     ) -> Tuple[Direction, ...]:
+        key = (current, dest)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
         dirs = topology.minimal_directions(current, dest)
-        if len(dirs) <= 1:
-            return dirs
-        # Radix-2 tori only materialize one channel per node pair; drop
-        # directions with no physical channel behind them.
-        return tuple(d for d in dirs if topology.has_channel(current, d))
+        if len(dirs) > 1:
+            # Radix-2 tori only materialize one channel per node pair;
+            # drop directions with no physical channel behind them.
+            dirs = tuple(d for d in dirs if topology.has_channel(current, d))
+        self._cache[key] = dirs
+        return dirs
 
 
 class DimensionOrder(RoutingFunction):

@@ -47,13 +47,24 @@ import heapq
 import random
 from collections import deque
 from time import perf_counter
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.analysis.deadlock import find_deadlocked
 from repro.metrics.stats import SimulationStats
 from repro.network.channel import PhysicalChannel, VirtualChannel
 from repro.network.config import SimulationConfig
 from repro.network.message import Message
+from repro.network.rotating import RotatingList
 from repro.network.router import Router
 from repro.network.routing import make_routing_function
 from repro.network.types import DetectionEvent, MessageStatus, NodeId, PortKind
@@ -75,6 +86,8 @@ class Simulator:
         self.topology = config.build_topology()
         self.rng = random.Random(config.seed)
         self.routing_fn = make_routing_function(config.routing)
+        # Hoisted off the per-attempt hot path (constant per run).
+        self._vc_class_routing = self.routing_fn.uses_vc_classes
         self.workload = Workload(config.traffic, self.topology)
 
         self.routers: List[Router] = []
@@ -100,6 +113,10 @@ class Simulator:
         for name in PHASES:
             self._phase_time[name] = 0.0
 
+        # Per-phase wall-clock timing is opt-in: the ten perf_counter
+        # calls per cycle are measurable on the hot path (see
+        # docs/performance.md), so step() skips them unless profiling.
+        self._profile = config.profile_phases
         # Event engine state.  Parking is only sound when the detector has
         # no per-attempt side effects on blocked messages.
         self._park_enabled = config.engine == "event"
@@ -134,8 +151,11 @@ class Simulator:
         self.tracer: Optional[Tracer] = None
         self.generation_enabled = True
         self._next_message_id = 0
-        self.active_messages: List[Message] = []
-        self.pending_route: List[Message] = []
+        # Rotating structures: the conceptual (reference-engine) order is
+        # ``items[rot:] + items[:rot] + tail``; the phase loops advance
+        # the cursor instead of materializing the per-cycle rotation.
+        self.active_messages = RotatingList()
+        self.pending_route = RotatingList()
         self.source_queues: List[Deque[Message]] = [
             deque() for _ in range(self.topology.num_nodes)
         ]
@@ -253,8 +273,39 @@ class Simulator:
         if cycle == cfg.warmup_cycles + cfg.measure_cycles:
             self.measuring = False
 
-        t0 = perf_counter()
-        interval = cfg.ground_truth_interval
+        if self._profile:
+            t0 = perf_counter()
+            self._checks_phase(cycle)
+            t1 = perf_counter()
+            self._routing_phase(cycle)
+            t2 = perf_counter()
+            self._movement_phase(cycle)
+            t3 = perf_counter()
+            self._injection_phase(cycle)
+            t4 = perf_counter()
+            if self.generation_enabled:
+                self._generation_phase(cycle)
+            t5 = perf_counter()
+            pt = self._phase_time
+            pt["checks"] += t1 - t0
+            pt["routing"] += t2 - t1
+            pt["movement"] += t3 - t2
+            pt["injection"] += t4 - t3
+            pt["generation"] += t5 - t4
+        else:
+            self._checks_phase(cycle)
+            self._routing_phase(cycle)
+            self._movement_phase(cycle)
+            self._injection_phase(cycle)
+            if self.generation_enabled:
+                self._generation_phase(cycle)
+        self.cycle = cycle + 1
+
+    # ------------------------------------------------------------------
+    # Phases 1-2: ground truth, recovery-lane completions, source checks
+    # ------------------------------------------------------------------
+    def _checks_phase(self, cycle: int) -> None:
+        interval = self.config.ground_truth_interval
         if interval and cycle and cycle % interval == 0:
             self._truth_sweep(cycle)
 
@@ -265,24 +316,6 @@ class Simulator:
             for m in self.detector.periodic_check(self.active_messages, cycle):
                 if m.status is MessageStatus.IN_NETWORK and not m.marked_deadlocked:
                     self._handle_detection(m, cycle)
-
-        t1 = perf_counter()
-        self._routing_phase(cycle)
-        t2 = perf_counter()
-        self._movement_phase(cycle)
-        t3 = perf_counter()
-        self._injection_phase(cycle)
-        t4 = perf_counter()
-        if self.generation_enabled:
-            self._generation_phase(cycle)
-        t5 = perf_counter()
-        pt = self._phase_time
-        pt["checks"] += t1 - t0
-        pt["routing"] += t2 - t1
-        pt["movement"] += t3 - t2
-        pt["injection"] += t4 - t3
-        pt["generation"] += t5 - t4
-        self.cycle = cycle + 1
 
     # ------------------------------------------------------------------
     # Phase 3: routing
@@ -297,40 +330,65 @@ class Simulator:
                     m.route_asleep = False
                     box[0] -= 1
                     self._n_deadline_wakeups += 1
-        pending = self.pending_route
-        if not pending:
+        plist = self.pending_route
+        if plist.tail:
+            # Headers appended by the last movement phase: splice them in
+            # at the conceptual end before this cycle's rotated visit.
+            plist.fold()
+        items = plist.items
+        n = len(items)
+        if not n:
             return
-        offset = cycle % len(pending)
-        order = pending[offset:] + pending[:offset]
-        if self._route_parked_box[0] == len(pending):
+        start = plist.rot + cycle % n
+        if start >= n:
+            start -= n
+        if self._route_parked_box[0] == n:
             # Every pending header is asleep (and therefore IN_NETWORK —
             # any status change wakes it): the reference scan would fail
-            # every attempt and rebuild the list in rotated order, which
-            # is exactly `order`.  Skip the per-message loop.
-            self.pending_route = order
-            self._n_route_skips += len(pending)
+            # every attempt and rebuild the list in rotated order.  The
+            # cursor advance IS that rotation: O(1), no copy, no visits.
+            plist.rot = start
+            self._n_route_skips += n
             return
-        still_pending: List[Message] = []
-        self.pending_route = still_pending
+        if start:
+            order = items[start:]
+            order += items[:start]
+        else:
+            order = items
+        survivors: Optional[List[Message]] = None
+        sappend: Optional[Callable[[Message], None]] = None
         n_attempts = 0
         n_skips = 0
         in_network = MessageStatus.IN_NETWORK
-        keep_pending = still_pending.append
-        for m in order:
+        for pos, m in enumerate(order):
             if m.status is not in_network:
-                continue  # recovered/removed since it was queued
+                # Recovered/removed since it was queued: drop it, as the
+                # reference rebuild would.  Everything visited before the
+                # first drop survived — backfill once, then append.
+                if survivors is None:
+                    survivors = order[:pos]
+                    sappend = survivors.append
+                continue
             if m.route_asleep:
                 # Parked: the attempt would fail without side effects, so
-                # skip it.  The message stays in the list at the same
-                # position to keep the rotation order (and therefore the
+                # skip it.  The message stays at the same position in the
+                # visit order, keeping the rotation (and therefore the
                 # RNG stream) identical to the reference scan engine.
                 n_skips += 1
-                keep_pending(m)
+                if sappend is not None:
+                    sappend(m)
                 continue
             n_attempts += 1
-            if not self._attempt_route(m, cycle):
-                if m.status is in_network:
-                    keep_pending(m)
+            if self._attempt_route(m, cycle) or m.status is not in_network:
+                if survivors is None:
+                    survivors = order[:pos]
+                    sappend = survivors.append
+            elif sappend is not None:
+                sappend(m)
+        # Nothing dropped: the visit order itself is the new conceptual
+        # order — adopt it wholesale, no per-message rebuild.
+        plist.items = order if survivors is None else survivors
+        plist.rot = 0
         self._n_route_attempts += n_attempts
         self._n_route_skips += n_skips
 
@@ -403,8 +461,8 @@ class Simulator:
             dirs = self.routing_fn.candidates(self.topology, node, m.dest)
             candidates = tuple(router.output_pcs[d] for d in dirs)
 
-        free: List[VirtualChannel] = []
-        if self.routing_fn.uses_vc_classes:
+        free: Sequence[VirtualChannel]
+        if self._vc_class_routing:
             allowed = m.feasible_vcs
             if allowed is None:
                 allowed = tuple(
@@ -414,16 +472,31 @@ class Simulator:
                         self.topology, pc, node, m.dest
                     )
                 )
-            for vc in allowed:
-                if vc.occupant is None:
-                    free.append(vc)
+            free = [vc for vc in allowed if vc.occupant is None]
         else:
             allowed = None
-            for pc in candidates:
-                if pc.occupied_count < len(pc.vcs):
-                    for vc in pc.vcs:
-                        if vc.occupant is None:
-                            free.append(vc)
+            # The free lanes of each candidate come from the incremental
+            # per-channel mask (kept lane-index-ordered via the mask ->
+            # lanes table), so no rescan of ``pc.vcs`` per attempt.  The
+            # tuples are read-only snapshots — safe to alias.
+            if len(candidates) == 1:
+                pc = candidates[0]
+                table = pc.lanes_by_mask
+                free = (
+                    table[pc.free_mask]
+                    if table is not None
+                    else pc.free_lanes
+                )
+            else:
+                acc: List[VirtualChannel] = []
+                for pc in candidates:
+                    table = pc.lanes_by_mask
+                    acc += (
+                        table[pc.free_mask]
+                        if table is not None
+                        else pc.free_lanes
+                    )
+                free = acc
         if free:
             vc = free[0] if len(free) == 1 else self.rng.choice(free)
             vc.allocate(m, cycle)
@@ -462,45 +535,66 @@ class Simulator:
     # Phase 4: movement
     # ------------------------------------------------------------------
     def _movement_phase(self, cycle: int) -> None:
-        active = self.active_messages
-        if not active:
+        alist = self.active_messages
+        if alist.tail:
+            # Messages injected last cycle: splice at the conceptual end.
+            alist.fold()
+        items = alist.items
+        n = len(items)
+        if not n:
             return
-        offset = cycle % len(active)
-        order = active[offset:] + active[:offset]
-        if self._move_parked == len(active):
+        start = alist.rot + cycle % n
+        if start >= n:
+            start -= n
+        if self._move_parked == n:
             # Every worm is frozen (hence IN_NETWORK — teardown and
             # routing grants both unpark): the reference scan would move
-            # nothing and rebuild the list in rotated order.
-            self.active_messages = order
-            self._n_move_skips += len(active)
+            # nothing and rebuild the list in rotated order, which the
+            # cursor advance expresses in O(1).
+            alist.rot = start
+            self._n_move_skips += n
             return
-        keep: List[Message] = []
-        self.active_messages = keep
+        if start:
+            order = items[start:]
+            order += items[:start]
+        else:
+            order = items
+        survivors: Optional[List[Message]] = None
+        sappend: Optional[Callable[[Message], None]] = None
         park = self._park_enabled
         n_visits = 0
         n_skips = 0
         in_network = MessageStatus.IN_NETWORK
-        keep_active = keep.append
-        for m in order:
+        for pos, m in enumerate(order):
             if m.status is not in_network:
                 m.in_active = False
+                if survivors is None:
+                    survivors = order[:pos]
+                    sappend = survivors.append
                 continue
             if m.move_asleep:
-                # Structurally frozen worm: stays in the list at the same
-                # position (rotation order), woken by a routing grant.
+                # Structurally frozen worm: stays at the same position in
+                # the visit order, woken by a routing grant.
                 n_skips += 1
-                keep_active(m)
+                if sappend is not None:
+                    sappend(m)
                 continue
             n_visits += 1
             frozen = self._advance_message(m, cycle)
             if m.status is in_network:
-                keep_active(m)
+                if sappend is not None:
+                    sappend(m)
                 if park and frozen and m.spans:
                     m.move_asleep = True
                     self._move_parked += 1
                     self._n_move_parks += 1
             else:
                 m.in_active = False
+                if survivors is None:
+                    survivors = order[:pos]
+                    sappend = survivors.append
+        alist.items = order if survivors is None else survivors
+        alist.rot = 0
         self._n_move_visits += n_visits
         self._n_move_skips += n_skips
 
@@ -541,6 +635,8 @@ class Simulator:
         """
         frozen = True
         spans = m.spans
+        ejection = PortKind.EJECTION
+        input_limit = self._input_limit
         # -- header into its granted output VC --------------------------
         avc = m.allocated_vc
         if avc is not None:
@@ -548,7 +644,7 @@ class Simulator:
             tpc = avc.pc
             if tpc.last_flit_cycle != cycle:
                 ok = True
-                if spans and self._input_limit:
+                if spans and input_limit:
                     spc = spans[-1].pc
                     if spc.last_drain_cycle == cycle:
                         ok = False
@@ -572,13 +668,14 @@ class Simulator:
                                 if self.measuring:
                                     self.stats.injected_measured += 1
                     tpc.record_flit(cycle)
-                    if tpc.kind is PortKind.EJECTION:
+                    if tpc.kind is ejection:
                         m.flits_delivered += 1
+                        spans.append(avc)
+                        m.allocated_vc = None
                     else:
                         avc.flits += 1
-                    spans.append(avc)
-                    m.allocated_vc = None
-                    if tpc.kind is not PortKind.EJECTION:
+                        spans.append(avc)
+                        m.allocated_vc = None
                         # Header buffered at the next router: needs routing.
                         self.pending_route.append(m)
 
@@ -586,30 +683,46 @@ class Simulator:
         # The structural test (full downstream buffer) runs before the
         # per-cycle bandwidth guards: all are pure reads, so the movement
         # outcome is unchanged, and a pair stopped only by a transient
-        # guard is recognized as movable-later (not frozen).
+        # guard is recognized as movable-later (not frozen).  The loop
+        # walks adjacent (up, down) pairs with a rolling ``down`` to
+        # avoid indexing each span twice.
         n = len(spans)
-        for i in range(n - 1, 0, -1):
-            up = spans[i - 1]
-            if up.flits == 0:
-                continue
-            down = spans[i]
-            dpc = down.pc
-            sink = dpc.kind is PortKind.EJECTION
-            if not sink and down.flits >= down.capacity:
-                continue  # structurally stuck until the worm drains below
-            frozen = False
-            if dpc.last_flit_cycle == cycle:
-                continue
-            upc = up.pc
-            if self._input_limit and upc.last_drain_cycle == cycle:
-                continue
-            up.flits -= 1
-            upc.last_drain_cycle = cycle
-            dpc.record_flit(cycle)
-            if sink:
-                m.flits_delivered += 1
-            else:
-                down.flits += 1
+        if n > 1:
+            down = spans[n - 1]
+            for i in range(n - 2, -1, -1):
+                up = spans[i]
+                if up.flits:
+                    dpc = down.pc
+                    sink = dpc.kind is ejection
+                    if sink or down.flits < down.capacity:
+                        frozen = False
+                        if dpc.last_flit_cycle != cycle:
+                            upc = up.pc
+                            if not input_limit or upc.last_drain_cycle != cycle:
+                                up.flits -= 1
+                                upc.last_drain_cycle = cycle
+                                # PhysicalChannel.record_flit, inlined:
+                                # this is the hottest flit-accounting
+                                # site (every body-flit hop), and the
+                                # call overhead is measurable.
+                                t1 = dpc.i_threshold
+                                hook = dpc.on_i_reset
+                                if (
+                                    t1 is not None
+                                    and hook is not None
+                                    and dpc.occupied_count > 0
+                                ):
+                                    start_ = dpc.last_flit_cycle
+                                    if dpc.active_since > start_:
+                                        start_ = dpc.active_since
+                                    if cycle - start_ > t1:
+                                        hook(dpc, cycle)
+                                dpc.last_flit_cycle = cycle
+                                if sink:
+                                    m.flits_delivered += 1
+                                else:
+                                    down.flits += 1
+                down = up
 
         # -- source flits into the injection VC -------------------------
         if m.flits_at_source > 0 and spans:
@@ -624,7 +737,10 @@ class Simulator:
                     first.flits += 1
 
         # -- tail release ------------------------------------------------
-        while len(spans) > 1 and m.flits_at_source == 0 and spans[0].flits == 0:
+        # Guard order: ``flits_at_source`` first — it is non-zero for
+        # every worm still injecting, which short-circuits the two
+        # list inspections on the common path.
+        while m.flits_at_source == 0 and len(spans) > 1 and spans[0].flits == 0:
             self._release_vc(spans.pop(0), cycle)
             frozen = False
 
@@ -903,6 +1019,14 @@ class Simulator:
             if occupied != pc.occupied_count:
                 raise AssertionError(
                     f"{pc}: occupied_count {pc.occupied_count} != actual {occupied}"
+                )
+            actual_free = tuple(vc for vc in pc.vcs if vc.occupant is None)
+            if actual_free != pc.free_lanes:
+                # Order matters too: routing draws rng.choice over these
+                # lanes, so a permuted free_lanes silently changes runs.
+                raise AssertionError(
+                    f"{pc}: free_lanes {pc.free_lanes} != actual free "
+                    f"{actual_free} (stale free_mask or misordered table)"
                 )
         n_route = sum(1 for m in self.active_messages if m.route_asleep)
         if n_route != self._route_parked_box[0]:

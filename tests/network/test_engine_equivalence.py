@@ -112,6 +112,43 @@ def test_engines_bit_identical_saturated_torus():
     assert_equivalent(config)
 
 
+def test_engines_bit_identical_saturated_16x16():
+    """256-node version of the saturated regime (benchmark's 16x16 case).
+
+    Catches equivalence bugs in costs that scale with network size —
+    channel tables, mask tables, router fan-out — rather than with the
+    active-message population.
+    """
+    config = _config(
+        radix=16,
+        mechanism="ndm",
+        threshold=32,
+        vcs_per_channel=2,
+        injection_rate=0.8,
+        recovery="none",
+        warmup_cycles=0,
+        measure_cycles=200,
+    )
+    assert_equivalent(config)
+
+
+def test_engines_bit_identical_flowing_progressive_recovery():
+    """Healthy traffic plus progressive recovery (the harness's flowing
+    regime): deadlocks form, recover in place, and traffic keeps moving,
+    so park/wake churn interleaves with real flit work."""
+    config = _config(
+        radix=8,
+        mechanism="ndm",
+        threshold=16,
+        vcs_per_channel=3,
+        injection_rate=0.5,
+        recovery="progressive",
+        warmup_cycles=100,
+        measure_cycles=600,
+    )
+    assert_equivalent(config)
+
+
 def test_precise_ndm_never_parks():
     """ndm-precise records per-attempt witnesses, so the event engine
     must keep re-attempting blocked headers (can_sleep_blocked=False)."""

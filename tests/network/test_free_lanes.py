@@ -1,0 +1,169 @@
+"""Unit tests for the incremental free-lane structure.
+
+Every :class:`PhysicalChannel` maintains ``free_mask`` (bit ``i`` set iff
+lane ``i`` is unoccupied) as two integer ops in VirtualChannel
+allocate/release, plus a precomputed ``lanes_by_mask`` table mapping each
+mask to its free-lane tuple in lane-index order.  The contract: for any
+allocate/release history, ``free_lanes`` must equal what a fresh scan of
+``vcs`` would collect — in the same order, because the routing phase
+draws from it with ``rng.choice`` and a different order would shift the
+RNG stream and break bit-identical equivalence with the scan engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.network.channel import MASK_TABLE_MAX_VCS, PhysicalChannel
+from repro.network.config import SimulationConfig
+from repro.network.message import Message
+from repro.network.simulator import Simulator
+from repro.network.types import PortKind
+
+
+def make_pc(num_vcs: int) -> PhysicalChannel:
+    return PhysicalChannel(
+        index=0,
+        kind=PortKind.NETWORK,
+        src_node=0,
+        dst_node=1,
+        direction=(0, 1),
+        num_vcs=num_vcs,
+        buffer_depth=4,
+    )
+
+
+def make_message(i: int) -> Message:
+    return Message(message_id=i, source=0, dest=1, length=4, gen_cycle=0)
+
+
+def scan_free(pc: PhysicalChannel):
+    """What the pre-change code computed every routing attempt."""
+    return tuple(vc for vc in pc.vcs if vc.occupant is None)
+
+
+def assert_consistent(pc: PhysicalChannel) -> None:
+    free = scan_free(pc)
+    assert pc.free_lanes == free
+    assert pc.free_vcs() == list(free)
+    assert bin(pc.free_mask).count("1") == len(free)
+    assert pc.occupied_count == len(pc.vcs) - len(free)
+    if pc.lanes_by_mask is not None:
+        assert pc.lanes_by_mask[pc.free_mask] == free
+
+
+# ----------------------------------------------------------------------
+# Table construction
+# ----------------------------------------------------------------------
+def test_initial_state_all_free():
+    pc = make_pc(3)
+    assert pc.free_mask == 0b111
+    assert pc.free_lanes == tuple(pc.vcs)
+    assert_consistent(pc)
+
+
+def test_mask_table_entries_are_in_lane_index_order():
+    pc = make_pc(4)
+    assert pc.lanes_by_mask is not None
+    assert len(pc.lanes_by_mask) == 16
+    for mask, lanes in enumerate(pc.lanes_by_mask):
+        indices = [vc.index for vc in lanes]
+        assert indices == [i for i in range(4) if mask & (1 << i)]
+        assert indices == sorted(indices)
+
+
+def test_wide_channel_skips_table_but_keeps_contract():
+    pc = make_pc(MASK_TABLE_MAX_VCS + 1)
+    assert pc.lanes_by_mask is None  # 2**n table would be too large
+    assert_consistent(pc)
+    m = make_message(0)
+    pc.vcs[4].allocate(m, cycle=0)
+    pc.vcs[0].allocate(make_message(1), cycle=0)
+    assert_consistent(pc)
+    assert [vc.index for vc in pc.free_lanes] == [1, 2, 3, 5, 6, 7, 8]
+    pc.vcs[4].release(cycle=1)
+    assert_consistent(pc)
+
+
+# ----------------------------------------------------------------------
+# Allocate / release maintenance
+# ----------------------------------------------------------------------
+def test_allocate_release_updates_mask():
+    pc = make_pc(3)
+    m0, m1 = make_message(0), make_message(1)
+    pc.vcs[1].allocate(m0, cycle=0)
+    assert pc.free_mask == 0b101
+    assert [vc.index for vc in pc.free_lanes] == [0, 2]
+    pc.vcs[0].allocate(m1, cycle=0)
+    assert pc.free_mask == 0b100
+    assert [vc.index for vc in pc.free_lanes] == [2]
+    pc.vcs[1].release(cycle=2)
+    assert pc.free_mask == 0b110
+    assert [vc.index for vc in pc.free_lanes] == [1, 2]
+    assert_consistent(pc)
+
+
+def test_double_allocate_and_double_release_still_raise():
+    pc = make_pc(2)
+    pc.vcs[0].allocate(make_message(0), cycle=0)
+    with pytest.raises(RuntimeError):
+        pc.vcs[0].allocate(make_message(1), cycle=0)
+    pc.vcs[0].release(cycle=1)
+    with pytest.raises(RuntimeError):
+        pc.vcs[0].release(cycle=1)
+    assert_consistent(pc)
+
+
+@pytest.mark.parametrize("num_vcs", [1, 2, 3, 8, 9])
+def test_random_churn_keeps_mask_and_scan_identical(num_vcs):
+    """Arbitrary allocate/release interleavings (including the
+    out-of-order releases produced by recovery teardown) never let the
+    incremental structure drift from the scan."""
+    rng = random.Random(99 + num_vcs)
+    pc = make_pc(num_vcs)
+    next_id = 0
+    for step in range(300):
+        free = [vc for vc in pc.vcs if vc.occupant is None]
+        held = [vc for vc in pc.vcs if vc.occupant is not None]
+        if held and (not free or rng.random() < 0.5):
+            # Teardown-style release: any held lane, not just the oldest.
+            rng.choice(held).release(cycle=step)
+        else:
+            rng.choice(free).allocate(make_message(next_id), cycle=step)
+            next_id += 1
+        assert_consistent(pc)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: recovery teardown in a real simulation
+# ----------------------------------------------------------------------
+def _post_run_consistency(recovery: str) -> None:
+    config = SimulationConfig(
+        radix=4,
+        dimensions=2,
+        vcs_per_channel=1,
+        warmup_cycles=50,
+        measure_cycles=400,
+        seed=20,
+        recovery=recovery,
+    )
+    config.traffic.injection_rate = 0.6
+    config.detector.mechanism = "ndm"
+    config.detector.threshold = 16
+    sim = Simulator(config)
+    stats = sim.run()
+    # The regime must actually exercise teardown for the test to bite.
+    if recovery != "none":
+        assert stats.messages_detected > 0
+    sim.check_invariants()
+    for pc in sim.channels:
+        assert_consistent(pc)
+
+
+@pytest.mark.parametrize(
+    "recovery", ["progressive", "progressive-reinject", "regressive"]
+)
+def test_free_lanes_survive_recovery_teardown(recovery):
+    _post_run_consistency(recovery)
