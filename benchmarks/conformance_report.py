@@ -1,0 +1,53 @@
+"""Fault-conformance harness entry point for CI artifacts.
+
+Thin wrapper around ``repro faults conformance``: runs the quick
+profile (every detector on seeded fault schedules, both engines),
+prints the FP/FN/latency table, and writes the full JSON report to
+``results/CONFORMANCE.json`` (or ``<out-dir>/CONFORMANCE.json``) for
+upload as a CI artifact.  Exits non-zero if the scan and event engines
+produced different behaviour on any schedule — the fault subsystem's
+equivalence gate.
+
+    PYTHONPATH=src python benchmarks/conformance_report.py [options] [out-dir]
+
+Options:
+    --schedules N   number of fault schedules (default 3)
+    --seed N        base seed for schedule generation (default 0)
+    --full          longer measurement/drain window (local runs)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+from repro.faults.cli import run as run_faults
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("out_dir", nargs="?", default="results")
+    parser.add_argument("--schedules", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--full", action="store_true")
+    args = parser.parse_args(argv[1:])
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return run_faults(
+        argparse.Namespace(
+            quick=not args.full,
+            schedules=args.schedules,
+            seed=args.seed,
+            detectors="ndm,pdm,timeout",
+            out=str(out_dir / "CONFORMANCE.json"),
+            cache_dir=None,
+            manifest=str(out_dir / "conformance_manifest.jsonl"),
+        )
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -29,12 +29,22 @@ from repro.network.message import Message
 from repro.network.types import MessageStatus
 
 
-def find_deadlocked(messages: Iterable[Message]) -> Set[Message]:
+def find_deadlocked(
+    messages: Iterable[Message], honor_faults: bool = False
+) -> Set[Message]:
     """Return the set of truly deadlocked messages among ``messages``.
 
     Only messages whose header is blocked at a router (failed at least one
     routing attempt, no output granted) can participate; everything else is
     treated as able to advance.
+
+    With ``honor_faults`` (fault-schedule runs), virtual channels whose
+    lane is currently unusable — link down or lane stuck, i.e. the bit is
+    clear in ``PhysicalChannel.usable_mask`` — are skipped entirely: a
+    free lane on a dead link is not an escape, and a message holding one
+    cannot hand it over.  The verdict is therefore "deadlocked under the
+    *current* fault state"; a later heal may dissolve the set, which the
+    conformance harness accounts for by re-sweeping each cycle.
     """
     # The blocked test is inlined (attribute reads instead of a method
     # call per message): this oracle runs on every detection event, so
@@ -69,7 +79,10 @@ def find_deadlocked(messages: Iterable[Message]) -> Set[Message]:
             if lanes is None:
                 escaped = False
                 for pc in m.feasible_pcs:
+                    usable = pc.usable_mask if honor_faults else -1
                     for vc in pc.vcs:
+                        if not (usable >> vc.index) & 1:
+                            continue  # faulted lane: neither escape nor wait
                         occupant = vc.occupant
                         if occupant is None or occupant not in deadlocked:
                             escaped = True
@@ -79,6 +92,11 @@ def find_deadlocked(messages: Iterable[Message]) -> Set[Message]:
             else:
                 escaped = False
                 for vc in lanes:
+                    if (
+                        honor_faults
+                        and not (vc.pc.usable_mask >> vc.index) & 1
+                    ):
+                        continue
                     occupant = vc.occupant
                     if occupant is None or occupant not in deadlocked:
                         escaped = True

@@ -86,15 +86,27 @@ class WaitGraph:
                 break
         return cycles
 
-    def knot_members(self) -> Set[int]:
+    def knot_members(self, honor_faults: bool = False) -> Set[int]:
         """Message ids with no escape path (matches the fixpoint oracle)."""
         from repro.analysis.deadlock import find_deadlocked
 
-        return {m.id for m in find_deadlocked(self.messages.values())}
+        return {
+            m.id
+            for m in find_deadlocked(
+                self.messages.values(), honor_faults=honor_faults
+            )
+        }
 
 
-def build_wait_graph(messages: Iterable[Message]) -> WaitGraph:
-    """Snapshot the wait-for structure over the blocked messages."""
+def build_wait_graph(
+    messages: Iterable[Message], honor_faults: bool = False
+) -> WaitGraph:
+    """Snapshot the wait-for structure over the blocked messages.
+
+    With ``honor_faults`` (fault-schedule runs), lanes that are currently
+    unusable — link down or lane stuck — contribute neither wait edges nor
+    free alternatives, matching the fault-aware oracle's escape semantics.
+    """
     graph = WaitGraph()
     blocked = [m for m in messages if m.is_blocked() and m.spans]
     for m in blocked:
@@ -103,7 +115,10 @@ def build_wait_graph(messages: Iterable[Message]) -> WaitGraph:
         edges: List[WaitEdge] = []
         free = 0
         for pc in m.feasible_pcs:
+            usable = pc.usable_mask if honor_faults else -1
             for vc in pc.vcs:
+                if not (usable >> vc.index) & 1:
+                    continue  # faulted lane: not an alternative at all
                 if vc.occupant is None:
                     free += 1
                 else:

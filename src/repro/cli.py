@@ -3,6 +3,7 @@
 Subcommands are thin wrappers around the per-package CLIs::
 
     repro lint [paths...]        static analysis (repro.lint)
+    repro faults conformance     detector conformance under faults (repro.faults)
     repro experiments ...        table campaigns (repro.experiments)
 """
 
@@ -12,6 +13,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.faults.cli import build_parser as build_faults_parser
 from repro.lint.cli import build_parser as build_lint_parser
 
 
@@ -26,6 +28,13 @@ def build_parser() -> argparse.ArgumentParser:
             "lint",
             help="determinism & protocol static analysis",
             description="Determinism & protocol static analysis for repro.",
+        )
+    )
+    build_faults_parser(
+        sub.add_parser(
+            "faults",
+            help="fault-injection conformance harness",
+            description="Fault-injection conformance harness.",
         )
     )
     sub.add_parser(

@@ -1,0 +1,15 @@
+"""Deterministic fault injection for the wormhole simulator.
+
+Schedules are lists of :class:`~repro.faults.spec.FaultSpec` windows
+(JSON-safe dicts inside ``SimulationConfig.faults``); the
+:class:`~repro.faults.injector.FaultInjector` applies them cycle by cycle
+on both engines.  The conformance harness that grades detectors against
+the ground-truth oracle under these schedules lives in
+:mod:`repro.faults.conformance` (imported lazily here to keep the
+simulator -> injector import path cycle-free).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FAULT_KINDS, FaultSpec, random_faults
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultInjector", "random_faults"]

@@ -1,0 +1,6 @@
+"""``python -m repro.faults`` — see :mod:`repro.faults.cli`."""
+
+from repro.faults.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -67,6 +67,26 @@ class SimulationStats:
     latency_count: int = 0
     max_latency: int = 0
 
+    # --- fault injection / conformance --------------------------------------
+    #: Fault-schedule edges applied (link windows, stuck lanes, counter
+    #: faults; see repro.faults).  Zero on healthy runs.
+    fault_edges: int = 0
+    #: Conformance accounting against the per-cycle ground-truth oracle
+    #: (filled by repro.faults.conformance; zero outside the harness).
+    #: Detection events raised while the message was truly deadlocked.
+    oracle_true_positive_events: int = 0
+    #: Detection events raised while the message was *not* deadlocked.
+    oracle_false_positive_events: int = 0
+    #: Messages still truly deadlocked at the end of the run that no
+    #: detector ever marked (the harness's false-negative count).
+    oracle_missed_messages: int = 0
+    #: Detection latency (cycles from entering the oracle's deadlocked
+    #: set to the detection event), summed / counted / maxed over true
+    #: positives.
+    oracle_latency_sum: int = 0
+    oracle_latency_count: int = 0
+    oracle_latency_max: int = 0
+
     # --- event log ----------------------------------------------------------
     detection_events: List[DetectionEvent] = field(default_factory=list)
 
@@ -144,6 +164,25 @@ class SimulationStats:
             if e.truly_deadlocked is False and e.cycle >= self.warmup_cycles
         )
         return 100.0 * false_measured / self.injected_measured
+
+    def oracle_mean_latency(self) -> Optional[float]:
+        """Mean true-positive detection latency (conformance runs only)."""
+        if self.oracle_latency_count == 0:
+            return None
+        return self.oracle_latency_sum / self.oracle_latency_count
+
+    def fault_conformance(self) -> Dict[str, Any]:
+        """The conformance harness's per-run verdict as a plain dict."""
+        return {
+            "fault_edges": self.fault_edges,
+            "true_positives": self.oracle_true_positive_events,
+            "false_positives": self.oracle_false_positive_events,
+            "missed": self.oracle_missed_messages,
+            "latency_mean": self.oracle_mean_latency(),
+            "latency_max": self.oracle_latency_max,
+            "latency_sum": self.oracle_latency_sum,
+            "latency_count": self.oracle_latency_count,
+        }
 
     def had_true_deadlock(self) -> bool:
         """Whether any real deadlock occurred (the tables' ``(*)`` marks)."""

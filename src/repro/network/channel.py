@@ -126,6 +126,10 @@ class PhysicalChannel:
         "header_waiters",
         "wake_box",
         "_frozen_inactivity",
+        "fault_down",
+        "stuck_mask",
+        "usable_mask",
+        "counter_lag",
     )
 
     def __init__(
@@ -192,6 +196,20 @@ class PhysicalChannel:
         # Counter value latched when the channel became fully unoccupied;
         # the hardware register keeps its value across unoccupied gaps.
         self._frozen_inactivity = 0
+        # --- fault-injection state (see repro.faults) -------------------
+        # ``usable_mask`` is the set of lanes routing/injection may
+        # allocate: all lanes while healthy, 0 while the link is down,
+        # and the complement of ``stuck_mask`` otherwise.  Healthy runs
+        # keep it at the all-ones value, so hot paths may AND it in
+        # unconditionally.  ``counter_lag`` distorts the inactivity
+        # reading (frozen/delayed counter faults) without touching the
+        # timestamps the bandwidth guards depend on; it can only move a
+        # threshold crossing *later*, so cached detection deadlines stay
+        # valid lower bounds.
+        self.fault_down = False
+        self.stuck_mask = 0
+        self.usable_mask = (1 << num_vcs) - 1
+        self.counter_lag = 0
 
     # ------------------------------------------------------------------
     # Occupancy bookkeeping (called by VirtualChannel)
@@ -221,7 +239,11 @@ class PhysicalChannel:
             start = self.last_flit_cycle
             if self.active_since > start:
                 start = self.active_since
-            self._frozen_inactivity = cycle - start
+            frozen = cycle - start - self.counter_lag
+            self._frozen_inactivity = frozen if frozen > 0 else 0
+            # The latched register value already reflects the lag; the
+            # counter resumes from it on re-occupation with a clean slate.
+            self.counter_lag = 0
         # A freed lane may let a parked header route on its next attempt.
         if self.route_waiters:
             box = self.wake_box
@@ -243,7 +265,8 @@ class PhysicalChannel:
         start = self.last_flit_cycle
         if self.active_since > start:
             start = self.active_since
-        return cycle - start
+        value = cycle - start - self.counter_lag
+        return value if value > 0 else 0
 
     def inactivity_deadline(self, threshold: int) -> Optional[int]:
         """First cycle at which ``inactivity(cycle) > threshold`` can hold.
@@ -262,7 +285,7 @@ class PhysicalChannel:
         start = self.last_flit_cycle
         if self.active_since > start:
             start = self.active_since
-        return start + threshold + 1
+        return start + threshold + 1 + self.counter_lag
 
     def record_flit(self, cycle: int) -> None:
         """Account for one flit crossing the channel at ``cycle``.
@@ -279,9 +302,10 @@ class PhysicalChannel:
             start = self.last_flit_cycle
             if self.active_since > start:
                 start = self.active_since
-            if cycle - start > self.i_threshold:
+            if cycle - start - self.counter_lag > self.i_threshold:
                 self.on_i_reset(self, cycle)
         self.last_flit_cycle = cycle
+        self.counter_lag = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -302,6 +326,28 @@ class PhysicalChannel:
     def free_vcs(self) -> List[VirtualChannel]:
         """The currently unoccupied lanes of this channel (index order)."""
         return list(self.free_lanes)
+
+    # ------------------------------------------------------------------
+    # Fault state (mutated only by repro.faults.injector.FaultInjector)
+    # ------------------------------------------------------------------
+    def recompute_usable(self) -> None:
+        """Refresh ``usable_mask`` from ``fault_down`` / ``stuck_mask``."""
+        if self.fault_down:
+            self.usable_mask = 0
+        else:
+            self.usable_mask = ((1 << len(self.vcs)) - 1) & ~self.stuck_mask
+
+    def usable_free_lanes(self) -> Tuple[VirtualChannel, ...]:
+        """Free lanes routing may actually allocate (fault-aware).
+
+        Identical to :attr:`free_lanes` on a healthy channel; hot paths
+        inline the ``free_mask & usable_mask`` table lookup instead.
+        """
+        mask = self.free_mask & self.usable_mask
+        table = self.lanes_by_mask
+        if table is not None:
+            return table[mask]
+        return tuple(vc for vc in self.vcs if mask & (1 << vc.index))
 
     def has_free_vc(self) -> bool:
         """Whether any lane of this channel is unoccupied."""

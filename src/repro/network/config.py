@@ -16,7 +16,7 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.network.topology import KAryNCube, Mesh, Topology
 
@@ -106,6 +106,14 @@ class SimulationConfig:
     #: (abort-and-retry at the source) or "none".
     recovery: str = "progressive"
 
+    # --- fault injection --------------------------------------------------
+    #: Deterministic fault schedule: a list of fault-spec dicts (see
+    #: ``repro.faults.spec.FaultSpec`` and docs/faults.md), or ``None``
+    #: for a healthy network.  Kept in plain JSON-safe form so schedules
+    #: flow through config hashing, the campaign cache and provenance
+    #: unchanged; the simulator parses and compiles them at build time.
+    faults: Optional[List[Dict[str, Any]]] = None
+
     # --- simulation engine ----------------------------------------------
     #: ``"event"`` (default) parks fully blocked messages and frozen worms
     #: between wakeup events — VC releases, inactivity-counter resumes,
@@ -185,6 +193,12 @@ class SimulationConfig:
             "none",
         ):
             raise ValueError(f"unknown recovery scheme {self.recovery!r}")
+        if self.faults:
+            # Imported here: repro.faults is a leaf package, but config is
+            # imported everywhere and should not pull it in unconditionally.
+            from repro.faults.spec import validate_fault_dicts
+
+            validate_fault_dicts(self.faults)
         self.build_topology()  # validates radix/dimensions
 
     def to_dict(self) -> Dict[str, Any]:
@@ -211,6 +225,11 @@ class SimulationConfig:
                 length_params=dict(self.traffic.length_params),
             ),
             detector=dataclasses.replace(self.detector),
+            faults=(
+                [dict(f) for f in self.faults]
+                if self.faults is not None
+                else None
+            ),
         )
         return dataclasses.replace(clone, **changes)
 

@@ -95,12 +95,15 @@ class Router:
 
         ``free_lanes`` is kept in lane-index order, so the first entry is
         the lowest-index free lane — the same lane a scan of ``pc.vcs``
-        would have returned.
+        would have returned.  The free mask is ANDed with the channel's
+        ``usable_mask`` so faulted injection ports (router stalls) accept
+        nothing; the mask is all-ones on healthy channels.
         """
         for pc in self.injection_pcs:
+            mask = pc.free_mask & pc.usable_mask
             table = pc.lanes_by_mask
             lanes = (
-                table[pc.free_mask] if table is not None else pc.free_lanes
+                table[mask] if table is not None else pc.usable_free_lanes()
             )
             if lanes:
                 return lanes[0]

@@ -2,6 +2,10 @@
 
 Synchronous cycle model.  Each cycle runs, in order:
 
+0. fault-schedule edges (optional; see ``repro.faults``) — link windows
+   open/close, lanes stick/unstick, counters freeze or lag — applied
+   before any phase reads channel state, followed by a conservative wake
+   of all parked event-engine state;
 1. periodic ground-truth deadlock sweep (optional);
 2. source-side detector checks (timeout mechanisms only);
 3. **routing**: every pending header (newly arrived or blocked) attempts to
@@ -60,6 +64,8 @@ from typing import (
 )
 
 from repro.analysis.deadlock import find_deadlocked
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultSpec
 from repro.metrics.stats import SimulationStats
 from repro.network.channel import PhysicalChannel, VirtualChannel
 from repro.network.config import SimulationConfig
@@ -93,6 +99,16 @@ class Simulator:
         self.routers: List[Router] = []
         self.channels: List[PhysicalChannel] = []
         self._build_network()
+
+        # Fault injection (see repro.faults): compiled once, applied at
+        # the top of every cycle.  ``_faults_on`` gates the (cheap) fault
+        # tests on the movement path and the fault-aware oracle, so
+        # healthy runs keep their exact pre-fault hot path.
+        self._faults_on = bool(config.faults)
+        self._fault_injector: Optional[FaultInjector] = None
+        if config.faults:
+            specs = [FaultSpec.from_dict(d) for d in config.faults]
+            self._fault_injector = FaultInjector(self, specs)
 
         # Imported here, not at module level: repro.core detectors type-hint
         # against network classes, so a module-level import would be cyclic.
@@ -225,12 +241,22 @@ class Simulator:
     # ------------------------------------------------------------------
     # Top-level control
     # ------------------------------------------------------------------
-    def run(self) -> SimulationStats:
-        """Run warmup + measurement (+ optional drain); return statistics."""
+    def run(
+        self, on_cycle: Optional[Callable[[int], None]] = None
+    ) -> SimulationStats:
+        """Run warmup + measurement (+ optional drain); return statistics.
+
+        ``on_cycle``, if given, is called after every completed cycle with
+        the cycle index just simulated — the conformance harness uses it
+        to sweep the ground-truth oracle per cycle without duplicating
+        this drive loop.  Passing ``None`` costs nothing.
+        """
         cfg = self.config
         total = cfg.warmup_cycles + cfg.measure_cycles
         while self.cycle < total:
             self.step()
+            if on_cycle is not None:
+                on_cycle(self.cycle - 1)
         if cfg.drain_cycles > 0:
             self.generation_enabled = False
             self.measuring = False
@@ -245,6 +271,8 @@ class Simulator:
                 or any(self.source_queues)
             ):
                 self.step()
+                if on_cycle is not None:
+                    on_cycle(self.cycle - 1)
         self.stats.cycles_run = self.cycle
         self.flush_engine_counters()
         return self.stats
@@ -272,6 +300,12 @@ class Simulator:
             self.measuring = True
         if cycle == cfg.warmup_cycles + cfg.measure_cycles:
             self.measuring = False
+
+        # Fault edges land before any phase reads channel state, so a
+        # window boundary affects the whole cycle on both engines alike.
+        injector = self._fault_injector
+        if injector is not None:
+            injector.apply(cycle)
 
         if self._profile:
             t0 = perf_counter()
@@ -439,6 +473,29 @@ class Simulator:
         self._route_parked_box[0] += 1
         self._n_route_parks += 1
 
+    def wake_all_parked(self) -> None:
+        """Clear every park flag (fault edges invalidate parking proofs).
+
+        Called by the fault injector whenever a fault appears or heals: a
+        healed link can make a parked header's attempt succeed and let a
+        wedged worm drain, and no channel-level wake event fires for
+        either, so everything re-evaluates on the next scan.  Purely
+        conservative — a spurious wake re-attempts, fails without side
+        effects, and re-parks — so both engines stay bit-identical.
+        Waiter registrations and queued heap deadlines stay in place
+        (stale heap entries are skipped when they pop).
+        """
+        box = self._route_parked_box
+        moves = 0
+        for m in self.active_messages:
+            if m.route_asleep:
+                m.route_asleep = False
+                box[0] -= 1
+            if m.move_asleep:
+                m.move_asleep = False
+                moves += 1
+        self._move_parked -= moves
+
     def _unregister_parked(self, m: Message) -> None:
         """Drop ``m`` from all waiter maps (before feasible_pcs is cleared)."""
         m.wait_registered = False
@@ -472,29 +529,39 @@ class Simulator:
                         self.topology, pc, node, m.dest
                     )
                 )
-            free = [vc for vc in allowed if vc.occupant is None]
+            if self._faults_on:
+                free = [
+                    vc
+                    for vc in allowed
+                    if vc.occupant is None
+                    and (vc.pc.usable_mask >> vc.index) & 1
+                ]
+            else:
+                free = [vc for vc in allowed if vc.occupant is None]
         else:
             allowed = None
             # The free lanes of each candidate come from the incremental
             # per-channel mask (kept lane-index-ordered via the mask ->
             # lanes table), so no rescan of ``pc.vcs`` per attempt.  The
-            # tuples are read-only snapshots — safe to alias.
+            # tuples are read-only snapshots — safe to alias.  ANDing in
+            # ``usable_mask`` (all-ones on healthy channels) filters out
+            # faulted lanes at the cost of one integer op.
             if len(candidates) == 1:
                 pc = candidates[0]
                 table = pc.lanes_by_mask
                 free = (
-                    table[pc.free_mask]
+                    table[pc.free_mask & pc.usable_mask]
                     if table is not None
-                    else pc.free_lanes
+                    else pc.usable_free_lanes()
                 )
             else:
                 acc: List[VirtualChannel] = []
                 for pc in candidates:
                     table = pc.lanes_by_mask
                     acc += (
-                        table[pc.free_mask]
+                        table[pc.free_mask & pc.usable_mask]
                         if table is not None
-                        else pc.free_lanes
+                        else pc.usable_free_lanes()
                     )
                 free = acc
         if free:
@@ -637,12 +704,26 @@ class Simulator:
         spans = m.spans
         ejection = PortKind.EJECTION
         input_limit = self._input_limit
+        # Fault guards are gated on one bool so healthy runs skip them.
+        # A fault-blocked flit is *not* structural blockage: ``frozen``
+        # stays False so the worm is never parked over a fault and simply
+        # retries until the window closes (fault edges also wake all
+        # parked state, so pre-existing parks cannot strand a worm).
+        faults = self._faults_on
         # -- header into its granted output VC --------------------------
         avc = m.allocated_vc
         if avc is not None:
             frozen = False  # granted channel: advances now or next cycle
             tpc = avc.pc
-            if tpc.last_flit_cycle != cycle:
+            if faults and (
+                not (tpc.usable_mask >> avc.index) & 1
+                or (
+                    spans
+                    and (spans[-1].pc.stuck_mask >> spans[-1].index) & 1
+                )
+            ):
+                pass  # granted lane dark or header's buffer stuck: hold
+            elif tpc.last_flit_cycle != cycle:
                 ok = True
                 if spans and input_limit:
                     spc = spans[-1].pc
@@ -696,7 +777,12 @@ class Simulator:
                     sink = dpc.kind is ejection
                     if sink or down.flits < down.capacity:
                         frozen = False
-                        if dpc.last_flit_cycle != cycle:
+                        if faults and (
+                            not (dpc.usable_mask >> down.index) & 1
+                            or (up.pc.stuck_mask >> up.index) & 1
+                        ):
+                            pass  # link down or a stuck lane on the hop
+                        elif dpc.last_flit_cycle != cycle:
                             upc = up.pc
                             if not input_limit or upc.last_drain_cycle != cycle:
                                 up.flits -= 1
@@ -715,9 +801,10 @@ class Simulator:
                                     start_ = dpc.last_flit_cycle
                                     if dpc.active_since > start_:
                                         start_ = dpc.active_since
-                                    if cycle - start_ > t1:
+                                    if cycle - start_ - dpc.counter_lag > t1:
                                         hook(dpc, cycle)
                                 dpc.last_flit_cycle = cycle
+                                dpc.counter_lag = 0
                                 if sink:
                                     m.flits_delivered += 1
                                 else:
@@ -730,7 +817,9 @@ class Simulator:
             if first.flits < first.capacity:
                 frozen = False
                 fpc = first.pc
-                if fpc.last_flit_cycle != cycle:
+                if faults and not (fpc.usable_mask >> first.index) & 1:
+                    pass  # injection span faulted: source flits hold
+                elif fpc.last_flit_cycle != cycle:
                     m.flits_at_source -= 1
                     m.last_source_flit_cycle = cycle
                     fpc.record_flit(cycle)
@@ -968,7 +1057,11 @@ class Simulator:
     def _truth_at(self, cycle: int) -> Set[Message]:
         """Deadlocked-message set for this cycle (cached per cycle)."""
         if self._truth_cache_cycle != cycle:
-            self._truth_cache = find_deadlocked(self.active_messages)
+            # Under fault schedules the oracle must not count faulted
+            # lanes as escapes (a free lane on a dead link frees no one).
+            self._truth_cache = find_deadlocked(
+                self.active_messages, honor_faults=self._faults_on
+            )
             self._truth_cache_cycle = cycle
         return self._truth_cache
 
@@ -1028,6 +1121,16 @@ class Simulator:
                     f"{pc}: free_lanes {pc.free_lanes} != actual free "
                     f"{actual_free} (stale free_mask or misordered table)"
                 )
+            full = (1 << len(pc.vcs)) - 1
+            expected_usable = 0 if pc.fault_down else full & ~pc.stuck_mask
+            if pc.usable_mask != expected_usable:
+                raise AssertionError(
+                    f"{pc}: usable_mask {pc.usable_mask:#x} inconsistent "
+                    f"with fault_down={pc.fault_down} "
+                    f"stuck_mask={pc.stuck_mask:#x}"
+                )
+            if pc.counter_lag < 0:
+                raise AssertionError(f"{pc}: negative counter_lag")
         n_route = sum(1 for m in self.active_messages if m.route_asleep)
         if n_route != self._route_parked_box[0]:
             raise AssertionError(
@@ -1051,14 +1154,22 @@ class Simulator:
                 raise AssertionError(
                     f"message {m.id}: route_asleep but not in any waiter set"
                 )
+            # usable_mask is all-ones on healthy channels, so the filter
+            # is exact for both fault and no-fault runs.
             if m.feasible_vcs is not None:
-                free = [vc for vc in m.feasible_vcs if vc.occupant is None]
+                free = [
+                    vc
+                    for vc in m.feasible_vcs
+                    if vc.occupant is None
+                    and (vc.pc.usable_mask >> vc.index) & 1
+                ]
             else:
                 free = [
                     vc
                     for pc in m.feasible_pcs
                     for vc in pc.vcs
                     if vc.occupant is None
+                    and (pc.usable_mask >> vc.index) & 1
                 ]
             if free:
                 raise AssertionError(

@@ -13,7 +13,12 @@ Event kinds (first tuple element):
 * ``("block", cycle, message_id, node)`` — first failed routing attempt;
 * ``("deliver", cycle, message_id, node)`` — message fully ejected;
 * ``("detect", cycle, message_id, node, mechanism)`` — marked deadlocked;
-* ``("recover", cycle, message_id, node)`` — worm torn down by recovery.
+* ``("recover", cycle, message_id, node)`` — worm torn down by recovery;
+* ``("fault", cycle, -1, channel_index, op, arg)`` — a fault-schedule
+  edge fired on a channel (op is e.g. ``"link-down"``/``"link-up"``,
+  ``"vc-stuck"``/``"vc-unstuck"``, ``"counter-lag"``,
+  ``"counter-freeze"``/``"counter-thaw"``; arg is the lane or lag).
+  The message-id slot is ``-1``: fault edges target hardware, not worms.
 """
 
 from __future__ import annotations

@@ -1,0 +1,48 @@
+"""Regenerate ``golden_conformance.json`` after an intentional model change.
+
+    PYTHONPATH=src python tests/faults/regen_golden.py
+
+Review the resulting verdict diff like any other golden update.
+"""
+
+import json
+from pathlib import Path
+
+from repro.faults.conformance import graded_run, make_cases, quick_base_config
+
+
+def main() -> None:
+    base = quick_base_config()
+    cases = make_cases(base, 10)
+    golden = {
+        "regenerate": "PYTHONPATH=src python tests/faults/regen_golden.py",
+        "base_config": base.to_dict(),
+        "cases": [],
+    }
+    for case in cases:
+        entry = {
+            "id": case["id"],
+            "seed": case["seed"],
+            "faults": case["faults"],
+            "detectors": {},
+        }
+        for detector in ("ndm", "pdm", "timeout"):
+            config = base.replace(
+                seed=case["seed"],
+                engine="event",
+                faults=[dict(f) for f in case["faults"]],
+            )
+            config.detector.mechanism = detector
+            stats, digest = graded_run(config)
+            entry["detectors"][detector] = {
+                "digest": digest,
+                "conformance": stats.fault_conformance(),
+            }
+        golden["cases"].append(entry)
+    path = Path(__file__).parent / "golden_conformance.json"
+    path.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path} ({len(golden['cases'])} cases)")
+
+
+if __name__ == "__main__":
+    main()

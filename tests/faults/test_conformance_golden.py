@@ -1,0 +1,75 @@
+"""Golden conformance corpus: pinned FP/FN/latency verdicts per detector.
+
+``golden_conformance.json`` records, for ten seeded fault schedules and
+every detector, the behavioural digest of the graded run and its
+conformance verdict (true/false positives, misses, detection latency).
+The corpus pins two things at once:
+
+* the *simulator* — any behavioural change under faults moves a digest;
+* the *grading* — any change to the oracle or the latency bookkeeping
+  moves a verdict even if the run itself is unchanged.
+
+If an intentional model change breaks it, regenerate the file with the
+snippet in its ``regenerate`` field and review the verdict diff like any
+other golden update.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.faults.conformance import graded_run, make_cases, quick_base_config
+
+GOLDEN_PATH = Path(__file__).parent / "golden_conformance.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+DETECTORS = ("ndm", "pdm", "timeout")
+
+
+def rebuild_config(case, detector):
+    base = quick_base_config()
+    config = base.replace(
+        seed=case["seed"],
+        engine="event",
+        faults=[dict(f) for f in case["faults"]],
+    )
+    config.detector.mechanism = detector
+    return config
+
+
+class TestCorpusShape:
+    def test_ten_schedules_recorded(self):
+        assert len(GOLDEN["cases"]) == 10
+
+    def test_schedules_match_generator(self):
+        """The recorded schedules are exactly what make_cases produces."""
+        base = quick_base_config()
+        assert base.to_dict() == GOLDEN["base_config"]
+        generated = make_cases(base, len(GOLDEN["cases"]))
+        recorded = [
+            {"id": c["id"], "seed": c["seed"], "faults": c["faults"]}
+            for c in GOLDEN["cases"]
+        ]
+        assert generated == recorded
+
+    def test_corpus_exercises_both_outcome_kinds(self):
+        """The corpus would be toothless without both TPs and FPs in it."""
+        ndm = [c["detectors"]["ndm"]["conformance"] for c in GOLDEN["cases"]]
+        assert sum(v["true_positives"] for v in ndm) > 0
+        assert sum(v["false_positives"] for v in ndm) > 0
+
+
+@pytest.mark.parametrize("case", GOLDEN["cases"], ids=lambda c: c["id"])
+@pytest.mark.parametrize("detector", DETECTORS)
+def test_verdict_matches_golden(case, detector):
+    config = rebuild_config(case, detector)
+    stats, digest = graded_run(config)
+    recorded = case["detectors"][detector]
+    assert stats.fault_conformance() == recorded["conformance"], (
+        f"conformance verdict for {case['id']}/{detector} changed; "
+        "if intentional, regenerate tests/faults/golden_conformance.json"
+    )
+    assert digest == recorded["digest"], (
+        f"behaviour of {case['id']}/{detector} changed; if intentional, "
+        "regenerate tests/faults/golden_conformance.json"
+    )

@@ -1,0 +1,105 @@
+"""FaultSpec validation, serialization round-trips and schedule generation."""
+
+import pytest
+
+from repro.faults.spec import (
+    FAULT_KINDS,
+    FaultSpec,
+    random_faults,
+    validate_fault_dicts,
+)
+
+
+class TestValidation:
+    def test_all_kinds_accept_a_wellformed_spec(self):
+        wellformed = {
+            "link-down": FaultSpec("link-down", 0, 10, channel=3),
+            "vc-stuck": FaultSpec("vc-stuck", 5, 6, channel=0, lane=1),
+            "router-stall": FaultSpec("router-stall", 2, 9, node=7),
+            "counter-freeze": FaultSpec("counter-freeze", 1, 4, channel=2),
+            "counter-lag": FaultSpec("counter-lag", 3, 4, channel=1, lag=8),
+        }
+        assert sorted(wellformed) == sorted(FAULT_KINDS)
+        for spec in wellformed.values():
+            spec.validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("bit-flip", 0, 1, channel=0).validate()
+
+    @pytest.mark.parametrize("start,end", [(5, 5), (5, 3), (-1, 4)])
+    def test_degenerate_window_rejected(self, start, end):
+        with pytest.raises(ValueError, match="window"):
+            FaultSpec("link-down", start, end, channel=0).validate()
+
+    def test_channel_kinds_need_channel(self):
+        for kind in ("link-down", "vc-stuck", "counter-freeze", "counter-lag"):
+            with pytest.raises(ValueError, match="channel"):
+                FaultSpec(kind, 0, 1, lane=0, lag=1).validate()
+
+    def test_vc_stuck_needs_lane(self):
+        with pytest.raises(ValueError, match="lane"):
+            FaultSpec("vc-stuck", 0, 1, channel=0).validate()
+
+    def test_router_stall_needs_node(self):
+        with pytest.raises(ValueError, match="node"):
+            FaultSpec("router-stall", 0, 1).validate()
+
+    def test_counter_lag_needs_positive_lag(self):
+        with pytest.raises(ValueError, match="lag"):
+            FaultSpec("counter-lag", 0, 1, channel=0, lag=0).validate()
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        spec = FaultSpec("vc-stuck", 10, 20, channel=4, lane=2)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_validates(self):
+        payload = FaultSpec("link-down", 0, 5, channel=1).to_dict()
+        payload["end"] = 0
+        with pytest.raises(ValueError):
+            FaultSpec.from_dict(payload)
+
+    def test_validate_fault_dicts_rejects_non_dict(self):
+        with pytest.raises(ValueError, match="dicts"):
+            validate_fault_dicts([("link-down", 0, 5)])
+
+    def test_validate_fault_dicts_accepts_generated(self):
+        validate_fault_dicts(
+            random_faults(
+                seed=3, num_channels=10, num_nodes=4, num_vcs=2, horizon=100
+            )
+        )
+
+
+class TestRandomFaults:
+    KW = dict(num_channels=48, num_nodes=16, num_vcs=3, horizon=500)
+
+    def test_deterministic_per_seed(self):
+        assert random_faults(seed=7, **self.KW) == random_faults(
+            seed=7, **self.KW
+        )
+
+    def test_seeds_differ(self):
+        assert random_faults(seed=1, **self.KW) != random_faults(
+            seed=2, **self.KW
+        )
+
+    def test_targets_within_network(self):
+        for seed in range(20):
+            for payload in random_faults(seed=seed, count=8, **self.KW):
+                spec = FaultSpec.from_dict(payload)
+                assert spec.end <= self.KW["horizon"]
+                if spec.channel is not None:
+                    assert spec.channel < self.KW["num_channels"]
+                if spec.lane is not None:
+                    assert spec.lane < self.KW["num_vcs"]
+                if spec.node is not None:
+                    assert spec.node < self.KW["num_nodes"]
+
+    def test_trivial_network_rejected(self):
+        with pytest.raises(ValueError):
+            random_faults(
+                seed=0, num_channels=0, num_nodes=1, num_vcs=1, horizon=10
+            )
