@@ -41,7 +41,7 @@ def main(argv: List[str]) -> int:
             quick=not args.full,
             schedules=args.schedules,
             seed=args.seed,
-            detectors="ndm,pdm,timeout",
+            detectors="ndm,pdm,timeout,probe",
             out=str(out_dir / "CONFORMANCE.json"),
             cache_dir=None,
             manifest=str(out_dir / "conformance_manifest.jsonl"),

@@ -140,6 +140,11 @@ CONFIGS: Dict[str, Dict[str, Any]] = {
 #: measure/drain cycle scale-down for ``--quick`` (CI-sized).
 QUICK_FACTOR = 4
 
+#: Non-gating ceiling for the probe-phase overhead datapoint: the extra
+#: per-cycle cost of running the probe detector with no probes in
+#: flight, relative to a detector with no probe phase at all.
+PROBE_OVERHEAD_TOLERANCE = 0.05
+
 
 def build_config(spec: Dict[str, Any], engine: str, quick: bool) -> SimulationConfig:
     spec = dict(spec)
@@ -237,6 +242,58 @@ def benchmark_config(spec: Dict[str, Any], quick: bool) -> Dict[str, Any]:
         "runs": runs,
         "speedup": round(speedup, 3),
         "pair_ratios": [round(r, 3) for r in ratios],
+    }
+
+
+def benchmark_probe_overhead(quick: bool) -> Dict[str, Any]:
+    """Cost of the probe cycle phase with no probes in flight.
+
+    Two event-engine runs of the flowing 8x8 regime, identical except
+    for the detector: ``timeout`` (no probe phase at all) versus
+    ``probe`` at an astronomically high threshold (no launch deadline
+    ever fires, so the phase runs empty every cycle).  Both detectors
+    fire zero detections at these thresholds, so the runs do the same
+    flit work and the timing ratio isolates the phase dispatch cost.
+    Interleaved pairs and a median-of-pairs ratio, same as
+    :func:`benchmark_config`.  The datapoint is recorded under its own
+    trajectory key — it is *not* a headline regime, and the baseline
+    comparison must not iterate it.
+    """
+    spec = dict(CONFIGS["flowing-ndm-8x8"])
+    configs = {}
+    for mechanism in ("timeout", "probe"):
+        config = build_config(spec, "event", quick)
+        config.detector.mechanism = mechanism
+        config.detector.threshold = 1 << 20
+        configs[mechanism] = config
+    for config in configs.values():
+        Simulator(config).run()  # warm-up, discarded
+    samples: Dict[str, List[Dict[str, Any]]] = {"timeout": [], "probe": []}
+    for _ in range(TIMED_RUNS):
+        for mechanism in ("timeout", "probe"):
+            samples[mechanism].append(_timed_run(configs[mechanism]))
+    for sample_list in samples.values():
+        for sample in sample_list:
+            if sample["detections"] != 0:
+                raise AssertionError(
+                    "probe-overhead runs must be detection-free; got "
+                    f"{sample['detections']} detections"
+                )
+    runs = {
+        mechanism: _summarize(mechanism, samples[mechanism])
+        for mechanism in ("timeout", "probe")
+    }
+    ratios = sorted(
+        p["seconds"] / t["seconds"]
+        for t, p in zip(samples["timeout"], samples["probe"])
+    )
+    slowdown = ratios[len(ratios) // 2]
+    return {
+        "baseline_mechanism": "timeout",
+        "runs": runs,
+        "overhead": round(slowdown - 1.0, 4),
+        "pair_ratios": [round(r, 3) for r in ratios],
+        "tolerance": PROBE_OVERHEAD_TOLERANCE,
     }
 
 
@@ -347,6 +404,22 @@ def main(argv: List[str]) -> int:
             )
         print(f"  speedup: {result['speedup']}x")
 
+    print("benchmarking probe-phase overhead (no probes in flight) ...")
+    probe_overhead = benchmark_probe_overhead(args.quick)
+    report["probe_overhead"] = probe_overhead
+    print(
+        f"  probe phase overhead: {probe_overhead['overhead'] * 100:+.1f}% "
+        f"cycles/s vs timeout detector "
+        f"(tolerance {PROBE_OVERHEAD_TOLERANCE * 100:.0f}%, non-gating)"
+    )
+    if probe_overhead["overhead"] > PROBE_OVERHEAD_TOLERANCE:
+        print(
+            f"WARNING: probe phase overhead "
+            f"{probe_overhead['overhead'] * 100:.1f}% exceeds the "
+            f"{PROBE_OVERHEAD_TOLERANCE * 100:.0f}% budget (non-gating)",
+            file=sys.stderr,
+        )
+
     path = out_dir / "BENCH_engines.json"
     path.write_text(json.dumps(report, indent=2, sort_keys=True))
     print(f"wrote {path}")
@@ -375,6 +448,12 @@ def main(argv: List[str]) -> int:
             "platform": report["platform"],
             "quick": args.quick,
             "headline": headline,
+            # Separate key on purpose: compare_to_baseline iterates the
+            # headline regimes by engine and must not see this shape.
+            "probe_overhead": {
+                "overhead": probe_overhead["overhead"],
+                "tolerance": probe_overhead["tolerance"],
+            },
         }
         append_trajectory(trajectory_path, entry)
         print(f"appended entry to {trajectory_path}")

@@ -1,0 +1,225 @@
+"""Adaptive threshold controllers (closed-loop ``t2`` tuning).
+
+The paper claims the optimal inactivity threshold is essentially
+workload-independent; this module supplies the machinery to *test* that
+claim: a controller that tunes a detector's launch/detection threshold
+from observed oracle feedback (false positives, misses, detection
+latency) between campaign cells, walking a discrete threshold ladder by
+steepest descent until it sits in a local cost minimum.
+
+The control loop itself lives in :mod:`repro.faults.adaptive` (it needs
+the conformance harness); this module is pure state and policy so it can
+be unit-tested without running simulations:
+
+* :class:`AdaptiveThresholdController` — accumulates per-threshold
+  conformance feedback and proposes the next threshold to evaluate.
+* :class:`AdaptiveTimeout` / :class:`AdaptiveProbe` — the family members
+  the issue calls for, binding the controller to a detector mechanism
+  (the crude header-blocked timeout and the edge-chasing probe detector).
+
+The proposal policy is deliberately simple and fully deterministic:
+evaluate the current rung, then each unevaluated neighbour, then move to
+a strictly cheaper neighbour; when neither neighbour is strictly cheaper
+the controller has **converged** and :meth:`propose` returns ``None``.
+On a unimodal cost curve this lands within one rung of the best fixed
+threshold — exactly the acceptance bound the experiments record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Type
+
+#: Default threshold ladder: powers of two spanning the regimes the
+#: conformance harness exercises (quick configs use threshold 16).
+DEFAULT_LADDER: Tuple[int, ...] = (4, 8, 16, 32, 64, 128)
+
+
+@dataclass
+class ThresholdScore:
+    """Accumulated oracle feedback for one threshold rung."""
+
+    cells: int = 0
+    false_positives: int = 0
+    missed: int = 0
+    latency_sum: int = 0
+    latency_count: int = 0
+
+    def add(self, conformance: Mapping[str, Any]) -> None:
+        """Fold one ``SimulationStats.fault_conformance()`` dict in."""
+        self.cells += 1
+        self.false_positives += int(conformance["false_positives"])
+        self.missed += int(conformance["missed"])
+        self.latency_sum += int(conformance["latency_sum"])
+        self.latency_count += int(conformance["latency_count"])
+
+    def latency_mean(self) -> float:
+        if self.latency_count == 0:
+            return 0.0
+        return self.latency_sum / self.latency_count
+
+
+class AdaptiveThresholdController:
+    """Steepest-descent threshold tuner over a discrete ladder.
+
+    The driving loop alternates ``threshold = propose()`` with
+    ``observe(threshold, conformance)`` until ``propose()`` returns
+    ``None`` (converged) or the evaluation budget runs out.  Feedback for
+    a rung accumulates across observations, so re-visiting a rung under a
+    second traffic regime refines its score instead of replacing it.
+    """
+
+    #: Detector mechanism this controller tunes (subclasses bind it).
+    mechanism = "abstract"
+
+    def __init__(
+        self,
+        ladder: Sequence[int] = DEFAULT_LADDER,
+        fp_weight: float = 1.0,
+        miss_weight: float = 100.0,
+        latency_weight: float = 0.05,
+        start_index: Optional[int] = None,
+    ) -> None:
+        if not ladder:
+            raise ValueError("threshold ladder must not be empty")
+        if sorted(set(ladder)) != list(ladder):
+            raise ValueError(
+                f"threshold ladder must be strictly increasing, got {ladder!r}"
+            )
+        self.ladder: Tuple[int, ...] = tuple(ladder)
+        #: Cost weights: a miss (false negative) is catastrophic relative
+        #: to a false alarm; latency breaks ties between clean rungs.
+        self.fp_weight = fp_weight
+        self.miss_weight = miss_weight
+        self.latency_weight = latency_weight
+        self.index = (
+            start_index if start_index is not None else len(self.ladder) // 2
+        )
+        if not 0 <= self.index < len(self.ladder):
+            raise ValueError(
+                f"start_index {self.index} outside ladder of "
+                f"{len(self.ladder)} rungs"
+            )
+        self.scores: Dict[int, ThresholdScore] = {}
+        #: Evaluation order, for reports (thresholds as proposed).
+        self.history: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Feedback
+    # ------------------------------------------------------------------
+    def observe(self, threshold: int, conformance: Mapping[str, Any]) -> None:
+        """Record one conformance verdict obtained at ``threshold``."""
+        if threshold not in self.ladder:
+            raise ValueError(
+                f"threshold {threshold} is not a rung of {self.ladder!r}"
+            )
+        self.scores.setdefault(threshold, ThresholdScore()).add(conformance)
+
+    def cost(self, threshold: int) -> Optional[float]:
+        """Weighted cost of a rung, or ``None`` if never evaluated."""
+        score = self.scores.get(threshold)
+        if score is None or score.cells == 0:
+            return None
+        return (
+            self.fp_weight * score.false_positives
+            + self.miss_weight * score.missed
+            + self.latency_weight * score.latency_mean()
+        ) / score.cells
+
+    # ------------------------------------------------------------------
+    # Proposal policy
+    # ------------------------------------------------------------------
+    def propose(self) -> Optional[int]:
+        """Next threshold to evaluate, or ``None`` once converged.
+
+        Order: the current rung if unevaluated, then unevaluated
+        neighbours (lower first — aggressive detection is the cheaper
+        mistake to measure), then a move to a strictly cheaper evaluated
+        neighbour.  Equal-cost neighbours do not attract a move, so the
+        walk terminates on plateaus instead of oscillating.
+        """
+        ladder = self.ladder
+        current = ladder[self.index]
+        if self.cost(current) is None:
+            self.history.append(current)
+            return current
+        for neighbor_index in (self.index - 1, self.index + 1):
+            if 0 <= neighbor_index < len(ladder):
+                rung = ladder[neighbor_index]
+                if self.cost(rung) is None:
+                    self.history.append(rung)
+                    return rung
+        best_index = self.index
+        best_cost = self.cost(current)
+        assert best_cost is not None
+        for neighbor_index in (self.index - 1, self.index + 1):
+            if 0 <= neighbor_index < len(ladder):
+                neighbor_cost = self.cost(ladder[neighbor_index])
+                if neighbor_cost is not None and neighbor_cost < best_cost:
+                    best_index = neighbor_index
+                    best_cost = neighbor_cost
+        if best_index == self.index:
+            return None  # local minimum: converged
+        self.index = best_index
+        return self.propose()
+
+    def best_threshold(self) -> int:
+        """Cheapest evaluated rung (ties break toward lower thresholds)."""
+        best: Optional[Tuple[float, int]] = None
+        for rung in self.ladder:
+            rung_cost = self.cost(rung)
+            if rung_cost is None:
+                continue
+            if best is None or rung_cost < best[0]:
+                best = (rung_cost, rung)
+        if best is None:
+            return self.ladder[self.index]
+        return best[1]
+
+    def converged(self) -> bool:
+        """Whether the walk sits in an evaluated local cost minimum."""
+        current = self.ladder[self.index]
+        current_cost = self.cost(current)
+        if current_cost is None:
+            return False
+        for neighbor_index in (self.index - 1, self.index + 1):
+            if 0 <= neighbor_index < len(self.ladder):
+                neighbor_cost = self.cost(self.ladder[neighbor_index])
+                if neighbor_cost is None or neighbor_cost < current_cost:
+                    return False
+        return True
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready view of the controller state (reports, tests)."""
+        return {
+            "mechanism": self.mechanism,
+            "ladder": list(self.ladder),
+            "current": self.ladder[self.index],
+            "best": self.best_threshold(),
+            "converged": self.converged(),
+            "history": list(self.history),
+            "costs": {
+                str(rung): self.cost(rung)
+                for rung in self.ladder
+                if self.cost(rung) is not None
+            },
+        }
+
+
+class AdaptiveTimeout(AdaptiveThresholdController):
+    """Tunes the crude header-blocked timeout's detection threshold."""
+
+    mechanism = "timeout"
+
+
+class AdaptiveProbe(AdaptiveThresholdController):
+    """Tunes the edge-chasing probe detector's launch threshold (t2)."""
+
+    mechanism = "probe"
+
+
+#: Controller registry for the CLI (``repro faults tune --mechanism``).
+CONTROLLERS: Dict[str, Type[AdaptiveThresholdController]] = {
+    AdaptiveTimeout.mechanism: AdaptiveTimeout,
+    AdaptiveProbe.mechanism: AdaptiveProbe,
+}

@@ -50,6 +50,12 @@ class DeadlockDetector:
     #: re-attempt every cycle exactly as under the reference engine.
     can_sleep_blocked = True
 
+    #: Whether :meth:`probe_phase` does anything.  Probe-family detectors
+    #: set this to True and the simulator runs a dedicated out-of-band
+    #: phase (between checks and routing) every cycle; for every other
+    #: detector the phase is skipped entirely.
+    has_probe_phase = False
+
     def __init__(self, threshold: int) -> None:
         if threshold < 1:
             raise ValueError(f"detection threshold must be >= 1, got {threshold}")
@@ -87,6 +93,20 @@ class DeadlockDetector:
         True on subsequent attempts (none, source-age, injection-stall).
         """
         return None
+
+    def probe_phase(self, cycle: int) -> List[Message]:
+        """Advance out-of-band probes one hop; return elected victims.
+
+        Called once per cycle between the checks and routing phases, but
+        only when :attr:`has_probe_phase` is True.  The returned messages
+        are handed to the normal detection/recovery path (each guarded
+        against having left the network or been marked in the meantime).
+        Implementations must read only state that is bit-identical across
+        the scan and event engines at this phase boundary — message
+        blocking state and channel occupancy, never engine bookkeeping —
+        and must not draw from the simulator's RNG.
+        """
+        return []
 
     def on_message_routed(self, message: Message, cycle: int) -> None:
         """``message``'s header was granted an output virtual channel."""

@@ -10,6 +10,7 @@ from repro.core.null import NoDetection
 from repro.core.hybrid import HybridDetection
 from repro.core.pdm import PreviousDetectionMechanism
 from repro.core.precise import PreciseNDM
+from repro.core.probe import ProbeDetection
 from repro.core.timeout import (
     HeaderBlockedTimeout,
     InjectionStallTimeout,
@@ -37,6 +38,12 @@ def make_detector(config: DetectorConfig) -> DeadlockDetector:
             t1=config.t1,
             selective_promotion=config.selective_promotion,
         )
+    if name == ProbeDetection.name:
+        return ProbeDetection(
+            threshold=config.threshold,
+            max_hops=config.probe_max_hops,
+            max_outstanding=config.probe_max_outstanding,
+        )
     if name == HeaderBlockedTimeout.name:
         return HeaderBlockedTimeout(config.threshold)
     if name == SourceAgeTimeout.name:
@@ -57,6 +64,7 @@ def detector_names() -> Tuple[str, ...]:
         PreciseNDM.name,
         HybridDetection.name,
         PreviousDetectionMechanism.name,
+        ProbeDetection.name,
         HeaderBlockedTimeout.name,
         SourceAgeTimeout.name,
         InjectionStallTimeout.name,

@@ -25,7 +25,8 @@ from repro.experiments.spec import (
 def table_spec(table_id: int, full: Optional[bool] = None) -> TableSpec:
     """The (quick or full) spec for one paper table."""
     if table_id not in TABLE_SPECS:
-        raise ValueError(f"no such table: {table_id}; choose 1..7")
+        choices = ", ".join(str(t) for t in sorted(TABLE_SPECS))
+        raise ValueError(f"no such table: {table_id}; choose one of {choices}")
     spec = TABLE_SPECS[table_id]
     if full is None:
         full = full_mode()
@@ -80,7 +81,10 @@ def regenerate_all(
     checkpoint=None,
     resume: bool = False,
 ) -> Dict[int, TableResult]:
-    """Regenerate several tables (all seven by default).
+    """Regenerate several tables (the paper's seven by default).
+
+    Table 8 — the probe-detector extension grid — is not in the default
+    set; include it explicitly via ``table_ids``.
 
     When a cache or checkpoint is supplied, every table shares it — one
     campaign — so overlapping grids reuse each other's cells.

@@ -1,0 +1,156 @@
+"""Closed-loop threshold tuning against the conformance oracle.
+
+Drives an :class:`~repro.core.adaptive.AdaptiveThresholdController`
+between campaign cells: each proposed threshold is evaluated by grading
+the controller's detector mechanism over a set of fault schedules with
+the conformance harness, and the resulting oracle verdict (FP / missed /
+latency) is fed back as the rung's cost.  ``repro faults tune`` exposes
+the loop on the command line; the experiments record convergence against
+the exhaustive best fixed threshold per traffic regime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.adaptive import AdaptiveThresholdController
+from repro.faults.conformance import graded_run, make_cases
+from repro.network.config import SimulationConfig
+
+
+def evaluate_threshold(
+    base_config: SimulationConfig,
+    mechanism: str,
+    cases: Sequence[Dict[str, Any]],
+    threshold: int,
+    engine: str = "event",
+) -> Dict[str, Any]:
+    """Accumulated conformance verdict for one (mechanism, threshold) cell.
+
+    Runs every fault schedule in ``cases`` once and sums the oracle
+    counters into a single ``fault_conformance``-shaped dict, which both
+    the controller (:meth:`observe`) and the exhaustive baseline consume.
+    """
+    totals: Dict[str, Any] = {
+        "fault_edges": 0,
+        "true_positives": 0,
+        "false_positives": 0,
+        "missed": 0,
+        "latency_sum": 0,
+        "latency_count": 0,
+        "latency_max": 0,
+    }
+    for case in cases:
+        config = base_config.replace(
+            seed=case["seed"],
+            engine=engine,
+            faults=[dict(f) for f in case["faults"]],
+        )
+        config.detector.mechanism = mechanism
+        config.detector.threshold = threshold
+        stats, _ = graded_run(config)
+        conf = stats.fault_conformance()
+        for key in (
+            "fault_edges",
+            "true_positives",
+            "false_positives",
+            "missed",
+            "latency_sum",
+            "latency_count",
+        ):
+            totals[key] += conf[key]
+        if conf["latency_max"] > totals["latency_max"]:
+            totals["latency_max"] = conf["latency_max"]
+    totals["latency_mean"] = (
+        totals["latency_sum"] / totals["latency_count"]
+        if totals["latency_count"]
+        else None
+    )
+    return totals
+
+
+def tune(
+    controller: AdaptiveThresholdController,
+    base_config: SimulationConfig,
+    cases: Optional[Sequence[Dict[str, Any]]] = None,
+    num_schedules: int = 3,
+    base_seed: int = 0,
+    max_evaluations: int = 12,
+    engine: str = "event",
+) -> Dict[str, Any]:
+    """Run the control loop until convergence or the evaluation budget.
+
+    Returns a JSON-ready report: the evaluation trace, the controller
+    summary and the threshold it settled on.  The controller keeps its
+    accumulated state, so calling ``tune`` again with a second traffic
+    regime continues refining the same ladder.
+    """
+    if cases is None:
+        cases = make_cases(base_config, num_schedules, base_seed=base_seed)
+    trace: List[Dict[str, Any]] = []
+    evaluations = 0
+    while evaluations < max_evaluations:
+        threshold = controller.propose()
+        if threshold is None:
+            break
+        verdict = evaluate_threshold(
+            base_config, controller.mechanism, cases, threshold, engine=engine
+        )
+        controller.observe(threshold, verdict)
+        evaluations += 1
+        trace.append(
+            {
+                "threshold": threshold,
+                "cost": controller.cost(threshold),
+                **verdict,
+            }
+        )
+    return {
+        "mechanism": controller.mechanism,
+        "evaluations": evaluations,
+        "trace": trace,
+        "controller": controller.summary(),
+        "tuned_threshold": controller.best_threshold(),
+    }
+
+
+def exhaustive_best(
+    base_config: SimulationConfig,
+    mechanism: str,
+    ladder: Sequence[int],
+    cases: Sequence[Dict[str, Any]],
+    controller: Optional[AdaptiveThresholdController] = None,
+    engine: str = "event",
+) -> Dict[str, Any]:
+    """Cost of every ladder rung (the fixed-threshold baseline).
+
+    Scores each rung with a throwaway controller carrying the same cost
+    weights as ``controller`` (or defaults), so "best fixed threshold"
+    and the adaptive walk optimize the identical objective.
+    """
+    scorer = AdaptiveThresholdController(
+        ladder=ladder,
+        fp_weight=controller.fp_weight if controller else 1.0,
+        miss_weight=controller.miss_weight if controller else 100.0,
+        latency_weight=controller.latency_weight if controller else 0.05,
+    )
+    scorer.mechanism = mechanism
+    costs: Dict[int, float] = {}
+    verdicts: Dict[int, Dict[str, Any]] = {}
+    for rung in ladder:
+        verdict = evaluate_threshold(
+            base_config, mechanism, cases, rung, engine=engine
+        )
+        scorer.observe(rung, verdict)
+        cost = scorer.cost(rung)
+        assert cost is not None
+        costs[rung] = cost
+        verdicts[rung] = verdict
+    best = min(costs, key=lambda rung: (costs[rung], rung))
+    return {
+        "mechanism": mechanism,
+        "ladder": list(ladder),
+        "costs": {str(rung): costs[rung] for rung in ladder},
+        "verdicts": {str(rung): verdicts[rung] for rung in ladder},
+        "best_threshold": best,
+    }

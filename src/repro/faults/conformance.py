@@ -43,8 +43,9 @@ from repro.network.config import SimulationConfig
 from repro.network.simulator import Simulator
 
 #: Detectors graded by default: the paper's mechanism, the previous
-#: mechanism, and the crude header-blocked timeout.
-DEFAULT_DETECTORS = ("ndm", "pdm", "timeout")
+#: mechanism, the crude header-blocked timeout, and the edge-chasing
+#: probe competitor.
+DEFAULT_DETECTORS = ("ndm", "pdm", "timeout", "probe")
 
 #: Both engines always: digest agreement per schedule is the acceptance
 #: gate for the whole fault subsystem.

@@ -301,8 +301,9 @@ class DetectorContractRule(Rule):
     hint = (
         "override blocked_deadline() (or set can_sleep_blocked = False) "
         "whenever on_blocked_attempt is overridden; set "
-        "needs_periodic_check = True next to periodic_check; give every "
-        "concrete detector a name"
+        "needs_periodic_check = True next to periodic_check; set "
+        "has_probe_phase = True next to probe_phase (and vice versa); "
+        "give every concrete detector a name"
     )
     scopes = ()  # detectors may live anywhere
 
@@ -382,8 +383,31 @@ class DetectorContractRule(Rule):
                     "needs_periodic_check = True; the simulator will "
                     "never call it",
                 )
+        if "probe_phase" in cls.methods:
+            if self._effective_attr(chain, "has_probe_phase") is not True:
+                yield self.finding(
+                    module,
+                    cls.lineno,
+                    cls.col,
+                    f"{cls.name} overrides probe_phase without setting "
+                    "has_probe_phase = True; the simulator will never "
+                    "run its probe phase",
+                )
+        elif cls.class_attrs.get("has_probe_phase") is True and not any(
+            "probe_phase" in c.methods for c in chain
+        ):
+            yield self.finding(
+                module,
+                cls.lineno,
+                cls.col,
+                f"{cls.name} sets has_probe_phase = True but neither it "
+                "nor its bases override probe_phase; the probe phase "
+                "would run the base no-op every cycle",
+            )
         if (
-            overrides_blocked or "periodic_check" in cls.methods
+            overrides_blocked
+            or "periodic_check" in cls.methods
+            or "probe_phase" in cls.methods
         ) and not self._defines(chain, "name"):
             yield self.finding(
                 module,

@@ -87,6 +87,30 @@ class SimulationStats:
     oracle_latency_count: int = 0
     oracle_latency_max: int = 0
 
+    # --- probe transport (probe-family detectors; zero otherwise) ----------
+    # Behavioural, not telemetry: the probe transport is deterministic and
+    # engine-agnostic, so these participate in engine-equivalence digests.
+    #: Probe sessions launched (including dead-end self-detections).
+    probe_launches: int = 0
+    #: Total probe hops taken across all sessions.
+    probe_hops: int = 0
+    #: Detections from a probe returning to its initiator (wait cycle).
+    probe_cycle_detections: int = 0
+    #: Detections from a launch finding no usable lane at all (fault-wedged).
+    probe_deadend_detections: int = 0
+    #: Probes dropped because their current message could still advance.
+    probe_dropped_progress: int = 0
+    #: Probes dropped by per-initiator visited-set / path-digest dedupe.
+    probe_dropped_dedupe: int = 0
+    #: Probes dropped by lowest-id root election.
+    probe_dropped_election: int = 0
+    #: Probes dropped at the max_hops path-length cap.
+    probe_dropped_hops: int = 0
+    #: Probes dropped at the max_outstanding storm guard.
+    probe_dropped_overflow: int = 0
+    #: Peak probes simultaneously in flight for any single initiator.
+    probe_peak_outstanding: int = 0
+
     # --- event log ----------------------------------------------------------
     detection_events: List[DetectionEvent] = field(default_factory=list)
 

@@ -53,19 +53,28 @@ class DetectorConfig:
         mechanism: ``"ndm"`` (the paper's contribution), ``"pdm"``
             (previous mechanism [13]), ``"timeout"`` (crude header-blocked
             timeout, Disha-style), ``"source-age"`` / ``"injection-stall"``
-            (source-side timeouts [16], [10]) or ``"none"``.
+            (source-side timeouts [16], [10]), ``"probe"`` (edge-chasing
+            probe family, ``repro.core.probe``) or ``"none"``.
         threshold: the detection threshold in cycles (t2 for NDM, the IF
-            threshold for PDM, the timeout for the crude mechanisms).
+            threshold for PDM, the timeout for the crude mechanisms, the
+            probe launch cadence for the probe family).
         t1: NDM inactivity threshold for the I flag (paper uses 1 cycle).
         selective_promotion: if True, use the selective variant of the NDM
             G/P promotion rule (only inputs waiting on the reset output are
             promoted) instead of the paper's simple all-P-to-G variant.
+        probe_max_hops: probe family only — hard cap on a probe's path
+            length; a wait cycle longer than this is undetectable by
+            configuration.
+        probe_max_outstanding: probe family only — storm guard capping the
+            probes simultaneously in flight per initiator session.
     """
 
     mechanism: str = "ndm"
     threshold: int = 32
     t1: int = 1
     selective_promotion: bool = False
+    probe_max_hops: int = 64
+    probe_max_outstanding: int = 64
 
 
 @dataclass
@@ -182,6 +191,10 @@ class SimulationConfig:
             raise ValueError("warmup_cycles >= 0 and measure_cycles >= 1 required")
         if self.detector.threshold < 1:
             raise ValueError("detector threshold must be >= 1")
+        if self.detector.probe_max_hops < 1:
+            raise ValueError("probe_max_hops must be >= 1")
+        if self.detector.probe_max_outstanding < 1:
+            raise ValueError("probe_max_outstanding must be >= 1")
         if self.engine not in ("event", "scan"):
             raise ValueError(
                 f"unknown engine {self.engine!r}; choose 'event' or 'scan'"

@@ -80,7 +80,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.network.tracing import Tracer
 
 #: Keys of the per-phase wall-time accumulators in ``stats.phase_time``.
-PHASES = ("checks", "routing", "movement", "injection", "generation")
+PHASES = ("checks", "probes", "routing", "movement", "injection", "generation")
 
 
 class Simulator:
@@ -137,6 +137,10 @@ class Simulator:
         # no per-attempt side effects on blocked messages.
         self._park_enabled = config.engine == "event"
         self._detector_can_sleep = self.detector.can_sleep_blocked
+        # Probe-family detectors get a dedicated out-of-band phase between
+        # checks and routing; for every other detector the gate stays
+        # False and step() never pays for the extra call.
+        self._probe_phase_on = self.detector.has_probe_phase
         #: (deadline_cycle, seq, message) heap of sleeping headers whose
         #: detector predicate can first become true at deadline_cycle.
         self._route_deadlines: List[Tuple[int, int, Message]] = []
@@ -311,6 +315,9 @@ class Simulator:
             t0 = perf_counter()
             self._checks_phase(cycle)
             t1 = perf_counter()
+            if self._probe_phase_on:
+                self._probes_phase(cycle)
+            t1b = perf_counter()
             self._routing_phase(cycle)
             t2 = perf_counter()
             self._movement_phase(cycle)
@@ -322,12 +329,15 @@ class Simulator:
             t5 = perf_counter()
             pt = self._phase_time
             pt["checks"] += t1 - t0
-            pt["routing"] += t2 - t1
+            pt["probes"] += t1b - t1
+            pt["routing"] += t2 - t1b
             pt["movement"] += t3 - t2
             pt["injection"] += t4 - t3
             pt["generation"] += t5 - t4
         else:
             self._checks_phase(cycle)
+            if self._probe_phase_on:
+                self._probes_phase(cycle)
             self._routing_phase(cycle)
             self._movement_phase(cycle)
             self._injection_phase(cycle)
@@ -350,6 +360,26 @@ class Simulator:
             for m in self.detector.periodic_check(self.active_messages, cycle):
                 if m.status is MessageStatus.IN_NETWORK and not m.marked_deadlocked:
                     self._handle_detection(m, cycle)
+
+    # ------------------------------------------------------------------
+    # Phase 2b: out-of-band probe transport (probe-family detectors only)
+    # ------------------------------------------------------------------
+    def _probes_phase(self, cycle: int) -> None:
+        """Advance the detector's probe transport by one out-of-band hop.
+
+        Runs after checks and before routing so probes observe the same
+        wait-graph snapshot the oracle graded at the previous cycle's end,
+        identically under both engines (parked headers keep their cached
+        feasible sets, which is all the transport reads).  Victims elected
+        by returning probes enter the normal recovery path exactly like
+        periodic-check detections.
+        """
+        for victim in self.detector.probe_phase(cycle):
+            if (
+                victim.status is MessageStatus.IN_NETWORK
+                and not victim.marked_deadlocked
+            ):
+                self._handle_detection(victim, cycle)
 
     # ------------------------------------------------------------------
     # Phase 3: routing

@@ -1,0 +1,143 @@
+"""Adaptive threshold controller: policy unit tests (no simulations)."""
+
+import pytest
+
+from repro.core.adaptive import (
+    CONTROLLERS,
+    DEFAULT_LADDER,
+    AdaptiveProbe,
+    AdaptiveThresholdController,
+    AdaptiveTimeout,
+)
+
+
+def verdict(fp=0, missed=0, latency_sum=0, latency_count=0):
+    return {
+        "false_positives": fp,
+        "missed": missed,
+        "latency_sum": latency_sum,
+        "latency_count": latency_count,
+    }
+
+
+def drive(controller, cost_table, max_evaluations=20):
+    """Feed synthetic per-threshold FP counts until convergence."""
+    evaluations = []
+    for _ in range(max_evaluations):
+        threshold = controller.propose()
+        if threshold is None:
+            break
+        evaluations.append(threshold)
+        controller.observe(threshold, verdict(fp=cost_table[threshold]))
+    return evaluations
+
+
+class TestConstruction:
+    def test_ladder_must_be_increasing_and_nonempty(self):
+        with pytest.raises(ValueError):
+            AdaptiveThresholdController(ladder=())
+        with pytest.raises(ValueError):
+            AdaptiveThresholdController(ladder=(8, 4))
+        with pytest.raises(ValueError):
+            AdaptiveThresholdController(ladder=(4, 4, 8))
+
+    def test_start_index_defaults_to_middle(self):
+        controller = AdaptiveThresholdController(ladder=(4, 8, 16, 32))
+        assert controller.ladder[controller.index] == 16
+
+    def test_registry_binds_mechanisms(self):
+        assert CONTROLLERS["probe"] is AdaptiveProbe
+        assert CONTROLLERS["timeout"] is AdaptiveTimeout
+        assert AdaptiveProbe().mechanism == "probe"
+        assert AdaptiveTimeout().mechanism == "timeout"
+        assert AdaptiveProbe().ladder == DEFAULT_LADDER
+
+
+class TestCost:
+    def test_unevaluated_rung_has_no_cost(self):
+        controller = AdaptiveThresholdController(ladder=(4, 8))
+        assert controller.cost(4) is None
+
+    def test_cost_weights_fp_miss_latency(self):
+        controller = AdaptiveThresholdController(
+            ladder=(4,), fp_weight=1.0, miss_weight=100.0, latency_weight=0.5
+        )
+        controller.observe(
+            4, verdict(fp=3, missed=2, latency_sum=40, latency_count=4)
+        )
+        # 3 FP + 2 * 100 + 0.5 * mean(10), one cell.
+        assert controller.cost(4) == pytest.approx(3 + 200 + 5.0)
+
+    def test_feedback_accumulates_across_observations(self):
+        controller = AdaptiveThresholdController(ladder=(4,), miss_weight=1.0)
+        controller.observe(4, verdict(fp=10))
+        controller.observe(4, verdict(fp=0))
+        # Two cells averaging 5 FP each.
+        assert controller.cost(4) == pytest.approx(5.0)
+
+    def test_observe_rejects_off_ladder_threshold(self):
+        controller = AdaptiveThresholdController(ladder=(4, 8))
+        with pytest.raises(ValueError):
+            controller.observe(6, verdict())
+
+
+class TestWalk:
+    def test_converges_to_global_minimum_of_unimodal_curve(self):
+        ladder = (4, 8, 16, 32, 64)
+        cost = {4: 50, 8: 20, 16: 10, 32: 25, 64: 80}
+        controller = AdaptiveThresholdController(ladder=ladder)
+        drive(controller, cost)
+        assert controller.propose() is None
+        assert controller.converged()
+        assert controller.best_threshold() == 16
+
+    def test_descends_from_a_bad_start(self):
+        ladder = (4, 8, 16, 32, 64)
+        cost = {4: 1, 8: 2, 16: 4, 32: 8, 64: 16}
+        controller = AdaptiveThresholdController(ladder=ladder, start_index=4)
+        drive(controller, cost)
+        assert controller.best_threshold() == 4
+        assert controller.converged()
+
+    def test_plateau_terminates_without_oscillation(self):
+        ladder = (4, 8, 16)
+        cost = {4: 5, 8: 5, 16: 5}
+        controller = AdaptiveThresholdController(ladder=ladder)
+        evaluations = drive(controller, cost)
+        # Equal-cost neighbours do not attract moves: three evaluations
+        # (current + both neighbours), then convergence.
+        assert len(evaluations) == 3
+        assert controller.propose() is None
+
+    def test_second_regime_refines_the_same_ladder(self):
+        ladder = (4, 8, 16)
+        controller = AdaptiveThresholdController(ladder=ladder)
+        drive(controller, {4: 0, 8: 0, 16: 0})
+        cells_before = controller.scores[8].cells
+        # Regime two: rung 4 turns out expensive under different traffic.
+        controller.observe(4, verdict(fp=100))
+        controller.observe(8, verdict(fp=0))
+        controller.observe(16, verdict(fp=0))
+        assert controller.scores[8].cells == cells_before + 1
+        assert controller.best_threshold() in (8, 16)
+
+    def test_history_records_evaluation_order(self):
+        ladder = (4, 8, 16)
+        controller = AdaptiveThresholdController(ladder=ladder)
+        evaluations = drive(controller, {4: 1, 8: 1, 16: 1})
+        assert controller.history == evaluations
+        # Current rung first, then lower neighbour, then upper.
+        assert evaluations == [8, 4, 16]
+
+
+class TestSummary:
+    def test_summary_is_json_ready(self):
+        import json
+
+        controller = AdaptiveProbe(ladder=(4, 8, 16))
+        drive(controller, {4: 3, 8: 1, 16: 2})
+        summary = controller.summary()
+        assert summary["mechanism"] == "probe"
+        assert summary["best"] == 8
+        assert summary["converged"] is True
+        json.dumps(summary)  # must not raise

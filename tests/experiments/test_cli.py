@@ -43,6 +43,7 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Table 1" in out
         assert "Table 7" in out
+        assert "Table 8" in out
 
     def test_table_command(self, patched, capsys):
         assert cli.main(["table", "2"]) == 0
@@ -60,7 +61,7 @@ class TestCLI:
 
     def test_all_command(self, patched, capsys):
         assert cli.main(["all"]) == 0
-        assert sorted(patched) == [1, 2, 3, 4, 5, 6, 7]
+        assert sorted(patched) == [1, 2, 3, 4, 5, 6, 7, 8]
 
     def test_invalid_table_rejected(self):
         with pytest.raises(SystemExit):

@@ -14,8 +14,12 @@ from repro.experiments.spec import (
 
 
 class TestTableSpecs:
-    def test_all_seven_tables_defined(self):
-        assert sorted(TABLE_SPECS) == [1, 2, 3, 4, 5, 6, 7]
+    def test_paper_tables_plus_probe_extension_defined(self):
+        assert sorted(TABLE_SPECS) == [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_table8_is_probe_uniform_extension(self):
+        assert TABLE_SPECS[8].mechanism == "probe"
+        assert TABLE_SPECS[8].pattern == "uniform"
 
     def test_table1_is_pdm_uniform(self):
         assert TABLE_SPECS[1].mechanism == "pdm"

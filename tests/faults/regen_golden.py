@@ -26,7 +26,7 @@ def main() -> None:
             "faults": case["faults"],
             "detectors": {},
         }
-        for detector in ("ndm", "pdm", "timeout"):
+        for detector in ("ndm", "pdm", "timeout", "probe"):
             config = base.replace(
                 seed=case["seed"],
                 engine="event",

@@ -23,7 +23,7 @@ from repro.faults.conformance import graded_run, make_cases, quick_base_config
 
 GOLDEN_PATH = Path(__file__).parent / "golden_conformance.json"
 GOLDEN = json.loads(GOLDEN_PATH.read_text())
-DETECTORS = ("ndm", "pdm", "timeout")
+DETECTORS = ("ndm", "pdm", "timeout", "probe")
 
 
 def rebuild_config(case, detector):
@@ -57,6 +57,22 @@ class TestCorpusShape:
         ndm = [c["detectors"]["ndm"]["conformance"] for c in GOLDEN["cases"]]
         assert sum(v["true_positives"] for v in ndm) > 0
         assert sum(v["false_positives"] for v in ndm) > 0
+
+    def test_probe_has_zero_false_negatives_across_corpus(self):
+        """The issue's acceptance bar: 0 FN for the probe family, with
+        actual detections to show the cells are not vacuous."""
+        probe = [
+            c["detectors"]["probe"]["conformance"] for c in GOLDEN["cases"]
+        ]
+        assert sum(v["missed"] for v in probe) == 0
+        assert sum(v["true_positives"] for v in probe) > 0
+
+    def test_probe_is_precise_across_corpus(self):
+        """Edge-chasing proves its cycles: no false positives either."""
+        probe = [
+            c["detectors"]["probe"]["conformance"] for c in GOLDEN["cases"]
+        ]
+        assert sum(v["false_positives"] for v in probe) == 0
 
 
 @pytest.mark.parametrize("case", GOLDEN["cases"], ids=lambda c: c["id"])

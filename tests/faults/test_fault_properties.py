@@ -32,7 +32,7 @@ params_strategy = st.fixed_dictionaries(
         "dimensions": st.sampled_from([1, 2]),
         "vcs_per_channel": st.integers(min_value=1, max_value=2),
         "rate": st.floats(min_value=0.05, max_value=0.5),
-        "mechanism": st.sampled_from(["ndm", "pdm", "timeout"]),
+        "mechanism": st.sampled_from(["ndm", "pdm", "timeout", "probe"]),
         "recovery": st.sampled_from(["progressive", "none"]),
         "threshold": st.sampled_from([8, 16]),
         "seed": st.integers(min_value=0, max_value=2**16),

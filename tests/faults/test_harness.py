@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.faults import cli as faults_cli
 from repro.faults.conformance import (
     graded_run,
@@ -100,3 +102,30 @@ class TestCli:
         assert "ndm" in report["detectors"]
         stdout = capsys.readouterr().out
         assert "engine digests match: True" in stdout
+
+    def test_conformance_rejects_unknown_detector(self):
+        with pytest.raises(SystemExit) as excinfo:
+            faults_cli.main(
+                [
+                    "conformance",
+                    "--quick",
+                    "--schedules", "1",
+                    "--detectors", "ndm,bogus",
+                ]
+            )
+        message = str(excinfo.value)
+        assert "bogus" in message
+        assert "ndm" in message  # valid choices listed
+
+    def test_conformance_rejects_empty_detector_list(self):
+        with pytest.raises(SystemExit, match="at least one"):
+            faults_cli.main(
+                ["conformance", "--quick", "--detectors", " , "]
+            )
+
+    def test_conformance_accepts_probe_detector_name(self):
+        # Validation must accept every registered name, including the
+        # probe family added by this PR (parse only — no run here).
+        from repro.faults.cli import parse_detectors
+
+        assert parse_detectors("probe,ndm") == ["probe", "ndm"]

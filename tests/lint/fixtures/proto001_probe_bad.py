@@ -1,0 +1,28 @@
+"""Offending fixture: probe-phase detectors violating the event contract."""
+
+from repro.core.detector import DeadlockDetector
+
+
+class PhantomProbe(DeadlockDetector):  # expect: PROTO001
+    """Overrides probe_phase but the simulator would never run it."""
+
+    name = "phantom-probe"
+
+    def probe_phase(self, cycle):
+        return []
+
+
+class IdleProbe(DeadlockDetector):  # expect: PROTO001
+    """Opts into the probe phase without supplying any probe logic."""
+
+    name = "idle-probe"
+    has_probe_phase = True
+
+
+class NamelessProbe(DeadlockDetector):  # expect: PROTO001
+    """Concrete probe detector that never overrides the abstract name."""
+
+    has_probe_phase = True
+
+    def probe_phase(self, cycle):
+        return []

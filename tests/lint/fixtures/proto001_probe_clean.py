@@ -1,0 +1,29 @@
+"""Clean fixture: probe-phase detectors honouring the event contract."""
+
+from repro.core.detector import DeadlockDetector
+
+
+class ChasingDetector(DeadlockDetector):
+    """Probe hook paired with the opt-in flag (and a name)."""
+
+    name = "chasing"
+    has_probe_phase = True
+
+    def probe_phase(self, cycle):
+        return []
+
+
+class ProbeBase(DeadlockDetector):
+    """Intermediate base providing the probe machinery."""
+
+    name = "probe-base"
+    has_probe_phase = True
+
+    def probe_phase(self, cycle):
+        return []
+
+
+class TunedProbe(ProbeBase):
+    """Inherits probe_phase through a same-module base: flag is satisfied."""
+
+    name = "tuned-probe"

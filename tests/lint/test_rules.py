@@ -35,6 +35,7 @@ BAD_CASES = [
     ("det003_bad.py", "repro.network.det003_bad"),
     ("det004_bad.py", "repro.traffic.det004_bad"),
     ("proto001_bad.py", "repro.core.proto001_bad"),
+    ("proto001_probe_bad.py", "repro.core.proto001_probe_bad"),
     ("proto002_bad.py", "repro.metrics.proto002_bad"),
 ]
 
@@ -44,6 +45,7 @@ CLEAN_CASES = [
     ("det003_clean.py", "repro.network.det003_clean"),
     ("det004_clean.py", "repro.traffic.det004_clean"),
     ("proto001_clean.py", "repro.core.proto001_clean"),
+    ("proto001_probe_clean.py", "repro.core.proto001_probe_clean"),
     ("proto002_clean.py", "repro.metrics.proto002_clean"),
 ]
 

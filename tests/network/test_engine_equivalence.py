@@ -190,6 +190,7 @@ def test_perf_fields_excluded_from_comparison_form():
     assert full["engine"] == "event"
     assert set(full["phase_time"]) == {
         "checks",
+        "probes",
         "routing",
         "movement",
         "injection",
