@@ -19,12 +19,27 @@ Two artifacts are written:
   committed history records how kernel performance moved over time.
   The newest committed entry doubles as the regression baseline.
 
+Two extra datapoints ride along: the probe-phase overhead (median plus
+its min..max noise band — the band's lower edge, not the median, is
+what gets compared against the 5 % budget, because the median routinely
+dips negative inside noise) and the ``batch-campaign`` number — the
+batch SoA backend (``repro.network.batch``) advancing a whole
+detection-threshold ladder on one shared trajectory versus per-cell
+event runs, gated at ``BATCH_TARGET_SPEEDUP`` after an in-bench
+bit-identical digest check of every cell.
+
 Regression check: when a baseline is available (``--baseline`` or the
-last entry already in ``BENCH_kernel.json``), each regime/engine pair
-more than 10 % slower than the baseline prints a warning.  The exit
-code stays zero for baseline regressions unless ``--strict`` is given;
-the structural speedup target on the saturated regime (event at least
-``TARGET_SPEEDUP`` times scan) is always enforced.
+newest comparable entry already in ``BENCH_kernel.json``), each
+regime/engine pair more than 10 % slower than the baseline prints a
+warning.  The baseline search prefers the newest entry recorded on the
+*same platform and python version*; when only cross-platform entries
+exist, comparisons are printed as informational notes and never gate,
+even under ``--strict`` — absolute cycles/s across machines is not a
+regression signal.  The exit code stays zero for same-host baseline
+regressions unless ``--strict`` is given; the structural speedup
+targets (event at least ``TARGET_SPEEDUP`` times scan on the saturated
+regime, batch at least ``BATCH_TARGET_SPEEDUP`` times event on the
+campaign grid) are always enforced.
 
     PYTHONPATH=src python benchmarks/perf_report.py [options] [out-dir]
 
@@ -44,7 +59,7 @@ import platform
 import sys
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.network.config import SimulationConfig
 from repro.network.simulator import Simulator
@@ -52,6 +67,20 @@ from repro.network.simulator import Simulator
 #: The acceptance bar from the event-engine change: at least this factor
 #: between engines on the saturated configuration.
 TARGET_SPEEDUP = 1.5
+
+#: Acceptance bar for the batch backend on the quick campaign grid:
+#: one shared trajectory serving the threshold ladder must beat the
+#: per-cell event runs by at least this factor.
+BATCH_TARGET_SPEEDUP = 5.0
+
+#: Aspirational full-grid target (see EXPERIMENTS.md): non-gating, a
+#: shortfall prints a warning on full (non-quick) runs.
+BATCH_TARGET_SPEEDUP_FULL = 10.0
+
+#: Campaign threshold ladder for the batch benchmark (the paper's
+#: threshold axis, Tables 2-7 run 2..1024).
+BATCH_THRESHOLDS = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+BATCH_THRESHOLDS_QUICK = (2, 4, 8, 16, 32, 64, 128, 256)
 
 #: Baseline-comparison tolerance: warn when a regime/engine pair runs
 #: more than this much slower than the recorded baseline.
@@ -288,12 +317,77 @@ def benchmark_probe_overhead(quick: bool) -> Dict[str, Any]:
         for t, p in zip(samples["timeout"], samples["probe"])
     )
     slowdown = ratios[len(ratios) // 2]
+    # The datapoint sits inside measurement noise (committed entries have
+    # gone as low as -2.3%), so a single median would over-claim either
+    # way.  Report the median with the min..max pair-ratio band; only the
+    # band's *lower* edge exceeding the budget is a real overhead signal.
     return {
         "baseline_mechanism": "timeout",
         "runs": runs,
         "overhead": round(slowdown - 1.0, 4),
+        "overhead_low": round(ratios[0] - 1.0, 4),
+        "overhead_high": round(ratios[-1] - 1.0, 4),
         "pair_ratios": [round(r, 3) for r in ratios],
         "tolerance": PROBE_OVERHEAD_TOLERANCE,
+    }
+
+
+def benchmark_batch_campaign(quick: bool) -> Optional[Dict[str, Any]]:
+    """Batch backend vs per-cell event runs on a campaign threshold grid.
+
+    The grid is the saturated 8x8 regime swept over the paper's
+    threshold axis — the shape of every table campaign.  The event
+    baseline runs one simulation per cell; the batch backend folds the
+    whole ladder onto one shared trajectory
+    (:class:`repro.network.batch.BatchSimulator`).  Before any number is
+    reported, every batch cell's behavioural stats are asserted
+    bit-identical to its event run — the digest gate that lets the
+    backend exist — so a reported speedup is by construction a speedup
+    on *equal* results.  Returns ``None`` when numpy is unavailable.
+    """
+    from repro.network.batch import HAVE_NUMPY, run_batch
+
+    if not HAVE_NUMPY:
+        return None
+    spec = dict(CONFIGS["saturated-ndm-8x8"])
+    thresholds = BATCH_THRESHOLDS_QUICK if quick else BATCH_THRESHOLDS
+    cell_configs = []
+    for threshold in thresholds:
+        config = build_config(spec, "event", quick)
+        config.detector.threshold = threshold
+        cell_configs.append(config)
+    # Warm-up (caches, allocator), discarded.
+    Simulator(cell_configs[len(cell_configs) // 2]).run()
+
+    start = time.perf_counter()
+    event_stats = [Simulator(config).run() for config in cell_configs]
+    event_seconds = time.perf_counter() - start
+
+    batch_config = build_config(spec, "batch", quick)
+    start = time.perf_counter()
+    batch_stats = run_batch(batch_config, list(thresholds))
+    batch_seconds = time.perf_counter() - start
+
+    for threshold, event_run, batch_run in zip(
+        thresholds, event_stats, batch_stats
+    ):
+        if event_run.to_dict(include_perf=False) != batch_run.to_dict(
+            include_perf=False
+        ):
+            raise AssertionError(
+                f"batch cell th={threshold} diverged from its event run; "
+                "the batch backend must be bit-identical (digest gate)"
+            )
+    return {
+        "config": spec,
+        "thresholds": list(thresholds),
+        "cells": len(thresholds),
+        "event_seconds": round(event_seconds, 4),
+        "batch_seconds": round(batch_seconds, 4),
+        "speedup": round(event_seconds / batch_seconds, 3),
+        "digest_match": True,
+        "target": BATCH_TARGET_SPEEDUP,
+        "target_full_grid": BATCH_TARGET_SPEEDUP_FULL,
     }
 
 
@@ -310,21 +404,35 @@ def headline_numbers(report: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def load_baseline(path: Path, quick: bool) -> Optional[Dict[str, Any]]:
-    """Newest trajectory entry measured at the same ``quick`` setting.
+    """Newest comparable trajectory entry, preferring the same host.
 
-    Cycles/s depends on run length through population dynamics, so a
-    quick run is only comparable to a quick baseline (and a full run to
-    a full one); the CI perf job runs ``--quick`` against the committed
-    quick entry while local full runs compare against full entries.
+    Only entries measured at the same ``quick`` setting are comparable
+    at all (cycles/s depends on run length through population
+    dynamics).  Among those, the newest entry whose recorded platform
+    string and python version match this host wins — the committed
+    trajectory mixes machines, and absolute cycles/s across different
+    kernels or CPUs is not a regression signal.  When no same-host
+    entry exists, the newest cross-platform one is returned with
+    ``same_host=False`` so the caller demotes its comparisons to
+    informational (never ``--strict``-gating).
     """
     if not path.exists():
         return None
     payload = json.loads(path.read_text())
     entries = payload.get("entries", [])
+    fallback: Optional[Dict[str, Any]] = None
     for entry in reversed(entries):
-        if entry.get("quick") == quick:
-            matched: Dict[str, Any] = entry
-            return matched
+        if entry.get("quick") != quick:
+            continue
+        if (
+            entry.get("platform") == platform.platform()
+            and entry.get("python") == platform.python_version()
+        ):
+            return {"entry": entry, "same_host": True}
+        if fallback is None:
+            fallback = entry
+    if fallback is not None:
+        return {"entry": fallback, "same_host": False}
     return None
 
 
@@ -344,9 +452,11 @@ def compare_to_baseline(
         if not base:
             continue
         for engine in ("scan", "event"):
-            now = numbers[engine]
+            # .get on both sides: the batch-campaign entry has neither
+            # key, and hand-edited trajectory files may drop one.
+            now = numbers.get(engine)
             then = base.get(engine)
-            if not then:
+            if not now or not then:
                 continue
             if now < then * (1.0 - REGRESSION_TOLERANCE):
                 warnings.append(
@@ -354,6 +464,17 @@ def compare_to_baseline(
                     f"{(1 - now / then) * 100:.1f}% below baseline "
                     f"{then:.1f}"
                 )
+    now_batch = headline.get("batch-campaign", {})
+    then_batch = base_numbers.get("batch-campaign", {})
+    now_speedup = now_batch.get("speedup")
+    then_speedup = then_batch.get("speedup")
+    if now_speedup and then_speedup:
+        if now_speedup < then_speedup * (1.0 - REGRESSION_TOLERANCE):
+            warnings.append(
+                f"batch-campaign: {now_speedup}x speedup is "
+                f"{(1 - now_speedup / then_speedup) * 100:.1f}% below "
+                f"baseline {then_speedup}x"
+            )
     return warnings
 
 
@@ -409,15 +530,34 @@ def main(argv: List[str]) -> int:
     report["probe_overhead"] = probe_overhead
     print(
         f"  probe phase overhead: {probe_overhead['overhead'] * 100:+.1f}% "
+        f"(noise band {probe_overhead['overhead_low'] * 100:+.1f}% .. "
+        f"{probe_overhead['overhead_high'] * 100:+.1f}%) "
         f"cycles/s vs timeout detector "
         f"(tolerance {PROBE_OVERHEAD_TOLERANCE * 100:.0f}%, non-gating)"
     )
-    if probe_overhead["overhead"] > PROBE_OVERHEAD_TOLERANCE:
+    # The median alone can swing negative on a quiet machine and above
+    # budget on a loaded one; only warn when even the band's *lower*
+    # edge exceeds the budget — that cannot be explained by noise.
+    if probe_overhead["overhead_low"] > PROBE_OVERHEAD_TOLERANCE:
         print(
-            f"WARNING: probe phase overhead "
-            f"{probe_overhead['overhead'] * 100:.1f}% exceeds the "
+            f"WARNING: probe phase overhead is at least "
+            f"{probe_overhead['overhead_low'] * 100:.1f}% even at the "
+            f"noise band's lower edge, exceeding the "
             f"{PROBE_OVERHEAD_TOLERANCE * 100:.0f}% budget (non-gating)",
             file=sys.stderr,
+        )
+
+    print("benchmarking batch campaign backend (threshold grid) ...")
+    batch_campaign = benchmark_batch_campaign(args.quick)
+    report["batch_campaign"] = batch_campaign
+    if batch_campaign is None:
+        print("  numpy unavailable; batch campaign benchmark skipped")
+    else:
+        print(
+            f"  {batch_campaign['cells']} cells: event "
+            f"{batch_campaign['event_seconds']}s vs batch "
+            f"{batch_campaign['batch_seconds']}s -> "
+            f"{batch_campaign['speedup']}x (cell digests identical)"
         )
 
     path = out_dir / "BENCH_engines.json"
@@ -425,16 +565,40 @@ def main(argv: List[str]) -> int:
     print(f"wrote {path}")
 
     headline = headline_numbers(report)
+    if batch_campaign is not None:
+        # Own shape on purpose: no "scan"/"event" keys, so the
+        # per-engine baseline loop skips it.
+        headline["batch-campaign"] = {
+            "cells": batch_campaign["cells"],
+            "event_seconds": batch_campaign["event_seconds"],
+            "batch_seconds": batch_campaign["batch_seconds"],
+            "speedup": batch_campaign["speedup"],
+        }
     trajectory_path = REPO_ROOT / "BENCH_kernel.json"
     baseline_path = args.baseline or trajectory_path
     baseline = load_baseline(baseline_path, args.quick)
     warnings: List[str] = []
     if baseline is not None:
-        warnings = compare_to_baseline(headline, baseline)
-        for line in warnings:
-            print(f"WARNING: {line}", file=sys.stderr)
-        if not warnings:
-            print(f"no >10% regressions vs baseline in {baseline_path}")
+        notes = compare_to_baseline(headline, baseline["entry"])
+        if baseline["same_host"]:
+            warnings = notes
+            for line in warnings:
+                print(f"WARNING: {line}", file=sys.stderr)
+            if not warnings:
+                print(f"no >10% regressions vs baseline in {baseline_path}")
+        else:
+            # Different machine or python: absolute cycles/s is not a
+            # regression signal, so comparisons are informational and
+            # never feed the --strict gate.
+            entry = baseline["entry"]
+            print(
+                f"newest quick={args.quick} baseline in {baseline_path} "
+                f"is from a different host ({entry.get('platform')}, "
+                f"python {entry.get('python')}); comparisons are "
+                "informational only"
+            )
+            for line in notes:
+                print(f"note (cross-platform): {line}")
     else:
         print(
             f"no quick={args.quick} baseline entry in {baseline_path}; "
@@ -452,6 +616,8 @@ def main(argv: List[str]) -> int:
             # headline regimes by engine and must not see this shape.
             "probe_overhead": {
                 "overhead": probe_overhead["overhead"],
+                "overhead_low": probe_overhead["overhead_low"],
+                "overhead_high": probe_overhead["overhead_high"],
                 "tolerance": probe_overhead["tolerance"],
             },
         }
@@ -471,6 +637,26 @@ def main(argv: List[str]) -> int:
             file=sys.stderr,
         )
         failed = True
+    if batch_campaign is not None:
+        if batch_campaign["speedup"] < BATCH_TARGET_SPEEDUP:
+            print(
+                f"WARNING: batch campaign speedup "
+                f"{batch_campaign['speedup']}x below the "
+                f"{BATCH_TARGET_SPEEDUP}x gate",
+                file=sys.stderr,
+            )
+            failed = True
+        elif (
+            not args.quick
+            and batch_campaign["speedup"] < BATCH_TARGET_SPEEDUP_FULL
+        ):
+            print(
+                f"WARNING: batch campaign speedup "
+                f"{batch_campaign['speedup']}x below the "
+                f"{BATCH_TARGET_SPEEDUP_FULL}x full-grid target "
+                "(non-gating; see EXPERIMENTS.md)",
+                file=sys.stderr,
+            )
     if args.strict and warnings:
         failed = True
     return 1 if failed else 0

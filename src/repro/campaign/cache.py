@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
 
@@ -39,11 +40,37 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The stored payload for ``key``, or ``None`` on a miss."""
+        """The stored payload for ``key``, or ``None`` on a miss.
+
+        A missing file is a plain miss; an *existing* but unreadable or
+        torn entry (killed writer predating the atomic-replace scheme,
+        disk corruption) is also a miss, with a warning so a recurring
+        one is noticed — it will be overwritten by the re-run's ``put``.
+        """
         path = self.path_for(key)
         try:
-            payload: Dict[str, Any] = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            warnings.warn(
+                f"cache entry {path} is corrupt (torn or truncated JSON); "
+                "treating it as a miss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            warnings.warn(
+                f"cache entry {path} holds {type(payload).__name__}, not an "
+                "object; treating it as a miss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             self.misses += 1
             return None
         self.hits += 1

@@ -10,7 +10,11 @@ through three layers, cheapest first:
    (:class:`~repro.campaign.cache.ResultCache`);
 3. **run** — a live simulation, either in-process (``num_workers=1``,
    the deterministic serial fallback used by tests) or fanned out over a
-   ``ProcessPoolExecutor``.
+   ``ProcessPoolExecutor``.  Cache-miss cells whose configs ask for
+   ``engine="batch"`` and are equal modulo the detection threshold are
+   grouped into one shared-trajectory run each (see
+   ``repro.network.batch``) — the results stay bit-identical to
+   per-cell runs while the grid costs one simulation per group.
 
 Cells run out of order under the pool, but results are keyed, so callers
 reassemble tables in canonical order and the output is bit-identical to
@@ -24,15 +28,17 @@ from __future__ import annotations
 
 import os
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.campaign.cache import ResultCache
 from repro.campaign.checkpoint import CampaignCheckpoint
 from repro.campaign.jobs import CellJob, cell_from_dict, cell_to_dict
 from repro.experiments.runner import CellResult, cell_from_stats
 from repro.metrics.stats import SimulationStats
+from repro.network import batch as batch_backend
 from repro.network.config import SimulationConfig
 from repro.network.simulator import Simulator
 
@@ -72,6 +78,46 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         "wall_time": time.perf_counter() - start,
         "worker": f"pid{os.getpid()}",
     }
+
+
+def _execute_batch_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point for one batch group (many thresholds, one run).
+
+    The cells share a single trajectory (see ``repro.network.batch``);
+    the returned stats list aligns with ``payload["keys"]``.
+    """
+    start = time.perf_counter()
+    config = SimulationConfig.from_dict(payload["config"])
+    stats_list = batch_backend.run_batch(config, payload["thresholds"])
+    return {
+        "keys": payload["keys"],
+        "stats": [s.to_dict(include_events=False) for s in stats_list],
+        "wall_time": time.perf_counter() - start,
+        "worker": f"pid{os.getpid()}",
+    }
+
+
+def _batch_payload(jobs: Sequence[CellJob]) -> Dict[str, Any]:
+    """Pickle-light dict form of one batch group."""
+    return {
+        "keys": [job.key for job in jobs],
+        "thresholds": [job.config.detector.threshold for job in jobs],
+        # Any member's config works: the group is equal modulo threshold.
+        "config": jobs[0].config.to_dict(),
+    }
+
+
+def _plan_batch_jobs(
+    pending: Sequence[CellJob],
+) -> Tuple[List[List[CellJob]], List[CellJob]]:
+    """Split cache-miss jobs into shareable batch groups and singles."""
+    groups, singles = batch_backend.plan_batches(
+        [job.config for job in pending]
+    )
+    return (
+        [[pending[i] for i in group] for group in groups],
+        [pending[i] for i in singles],
+    )
 
 
 def default_num_workers() -> int:
@@ -143,48 +189,73 @@ def execute_jobs(
         tick()
 
     # Layer 1 + 2: serve what the manifest and the cache already know.
+    # Stored entries are validated, not trusted: a torn or wrong-shape
+    # record (killed writer, hand-edited file) downgrades to the next
+    # layer with a warning instead of poisoning the whole campaign.
     pending: List[CellJob] = []
     for job in jobs:
         record = completed.get(job.config_hash)
         if record is not None:
-            finish(
-                JobOutcome(
-                    job=job,
-                    cell=cell_from_dict(record["cell"]),
-                    wall_time=float(record.get("wall_time", 0.0)),
-                    worker="manifest",
-                    source="resume",
-                    engine=record.get("engine", ""),
-                    phase_time=record.get("phase_time", {}),
-                ),
-                # Already in the manifest; re-recording would double-count.
-                record=False,
+            outcome = _outcome_from_stored(
+                job, record, worker="manifest", source="resume"
             )
-            continue
+            if outcome is not None:
+                # Already in the manifest; re-recording would double-count.
+                finish(outcome, record=False)
+                continue
         payload = cache.get(job.config_hash) if cache is not None else None
         if payload is not None:
-            finish(
-                JobOutcome(
-                    job=job,
-                    cell=cell_from_dict(payload["cell"]),
-                    wall_time=float(payload.get("wall_time", 0.0)),
-                    worker="cache",
-                    source="cache",
-                    engine=payload.get("engine", ""),
-                    phase_time=payload.get("phase_time", {}),
-                )
+            outcome = _outcome_from_stored(
+                job, payload, worker="cache", source="cache"
             )
-            continue
+            if outcome is not None:
+                finish(outcome)
+                continue
         pending.append(job)
 
-    # Layer 3: simulate the rest.
+    # Layer 3: simulate the rest.  Eligible "batch"-engine cells that
+    # differ only in detection threshold share one trajectory per group
+    # (see repro.network.batch); everything else runs per cell.
+    groups, singles = _plan_batch_jobs(pending)
     if num_workers == 1:
-        for job in pending:
+        for job in singles:
             result = _execute_payload(job.payload())
             finish(_outcome_from_result(job, result, worker="serial"))
+        for group in groups:
+            result = _execute_batch_payload(_batch_payload(group))
+            for outcome in _outcomes_from_batch(group, result, worker="serial"):
+                finish(outcome)
     elif pending:
-        _run_pool(pending, num_workers, finish)
+        _run_pool(singles, groups, num_workers, finish)
     return outcomes
+
+
+def _outcome_from_stored(
+    job: CellJob, payload: Dict[str, Any], worker: str, source: str
+) -> Optional[JobOutcome]:
+    """Rebuild a stored (manifest/cache) entry, or ``None`` if malformed."""
+    try:
+        cell = cell_from_dict(payload["cell"])
+        wall_time = float(payload.get("wall_time", 0.0))
+        engine = str(payload.get("engine", ""))
+        phase_time = dict(payload.get("phase_time", {}))
+    except (KeyError, TypeError, ValueError) as exc:
+        warnings.warn(
+            f"ignoring malformed {source} entry for {job.key} "
+            f"({type(exc).__name__}: {exc}); the cell will be re-resolved",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+    return JobOutcome(
+        job=job,
+        cell=cell,
+        wall_time=wall_time,
+        worker=worker,
+        source=source,
+        engine=engine,
+        phase_time=phase_time,
+    )
 
 
 def _outcome_from_result(
@@ -203,23 +274,65 @@ def _outcome_from_result(
     )
 
 
+def _outcomes_from_batch(
+    jobs: Sequence[CellJob],
+    result: Dict[str, Any],
+    worker: Optional[str] = None,
+) -> Iterator[JobOutcome]:
+    """Split one batch-group result into per-cell outcomes.
+
+    The group's wall time is attributed evenly across its cells — the
+    shared trajectory is one indivisible advance, and an even split
+    keeps campaign-level wall-time sums meaningful.
+    """
+    per_cell = result["wall_time"] / max(len(jobs), 1)
+    who = worker if worker is not None else result["worker"]
+    for job, stats_dict in zip(jobs, result["stats"]):
+        stats = SimulationStats.from_dict(stats_dict)
+        yield JobOutcome(
+            job=job,
+            cell=cell_from_stats(stats, job.rate),
+            wall_time=per_cell,
+            worker=who,
+            source="run",
+            engine=stats.engine,
+            phase_time=dict(stats.phase_time),
+        )
+
+
 def _run_pool(
-    pending: Sequence[CellJob],
+    singles: Sequence[CellJob],
+    groups: Sequence[Sequence[CellJob]],
     num_workers: int,
     finish: Callable[[JobOutcome], None],
 ) -> None:
-    """Fan pending jobs out over a process pool, finishing out-of-order."""
-    width = min(num_workers, len(pending))
+    """Fan pending work out over a process pool, finishing out-of-order.
+
+    Batch groups are single pool tasks (one shared run each); their
+    per-cell outcomes are finished together when the group completes.
+    """
+    width = min(num_workers, len(singles) + len(groups))
     executor = ProcessPoolExecutor(max_workers=width)
     try:
-        futures = {
+        futures: Dict[Any, Optional[CellJob]] = {
             executor.submit(_execute_payload, job.payload()): job
-            for job in pending
+            for job in singles
         }
+        group_futures: Dict[Any, Sequence[CellJob]] = {
+            executor.submit(_execute_batch_payload, _batch_payload(group)): group
+            for group in groups
+        }
+        futures.update({future: None for future in group_futures})
         not_done = set(futures)
         while not_done:
             finished, not_done = wait(not_done, return_when=FIRST_COMPLETED)
             for future in finished:
-                finish(_outcome_from_result(futures[future], future.result()))
+                job = futures[future]
+                if job is not None:
+                    finish(_outcome_from_result(job, future.result()))
+                else:
+                    group = group_futures[future]
+                    for outcome in _outcomes_from_batch(group, future.result()):
+                        finish(outcome)
     finally:
         executor.shutdown(wait=False, cancel_futures=True)

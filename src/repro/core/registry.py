@@ -57,6 +57,24 @@ def make_detector(config: DetectorConfig) -> DeadlockDetector:
     )
 
 
+def batch_shareable(config: DetectorConfig) -> bool:
+    """True when cells differing only in ``threshold`` may share one run.
+
+    The batch backend folds many threshold cells onto a single network
+    trajectory, which is sound only when detection has *zero* feedback
+    into the network: NDM with the paper's simple promotion rule never
+    touches routing state from its hooks, whereas the selective variant
+    keeps per-threshold waiter maps and the other mechanisms carry
+    per-attempt or probe state of their own.  The campaign executor
+    additionally requires ``recovery == "none"`` and a fault-free
+    schedule before grouping (see ``repro.network.batch.plan_batches``).
+    """
+    return (
+        config.mechanism == NewDetectionMechanism.name
+        and not config.selective_promotion
+    )
+
+
 def detector_names() -> Tuple[str, ...]:
     """Mechanism names accepted by :func:`make_detector`."""
     return (

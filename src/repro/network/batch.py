@@ -1,0 +1,559 @@
+"""Batch backend: many threshold cells of a campaign over one trajectory.
+
+A campaign grid (see ``repro.experiments.spec``) re-runs the *same*
+network — topology, workload, seed, windows — once per detection
+threshold.  For NDM with the paper's simple promotion rule and
+``recovery="none"``, detection has **zero feedback** into the network:
+
+* ``NoRecovery.recover`` is a no-op, so a detected worm keeps its
+  channels exactly like an undetected one;
+* G/P flags are read only by the detector — routing and flit movement
+  never consult them — so G/P state cannot steer the trajectory;
+* failed routing attempts draw nothing from the RNG.
+
+Hence the *flit-level* trajectory — channel occupancy, inactivity
+counters, RNG stream, ground-truth sweeps — is identical for every
+threshold.  The G/P flags are **not**: a reference run skips every
+detector call of a marked message, which suppresses that message's
+*first-attempt* G/P writes at later hops, and which messages are marked
+when depends on the threshold.  :class:`BatchNDMObserver` therefore
+keeps the G/P flag per channel *per cell*, as a K-bit mask updated under
+the reference's exact suppression rule (a write by message ``m`` lands
+only in cells that have not yet detected ``m``; channel-level resets and
+reactivation promotions land in every cell).  :class:`BatchSimulator`
+advances the network **once** with that observer, then folds the shared
+run's statistics into K per-cell
+:class:`~repro.metrics.stats.SimulationStats` that are bit-identical to
+K independent ``engine="event"`` runs (asserted by
+``tests/network/test_batch_engine.py`` over the equivalence corpus and
+gated again inside ``benchmarks/perf_report.py``).
+
+Cell state is integer structure-of-arrays: the sorted threshold ladder,
+the per-cell detection counters and the channel-state snapshot
+(:func:`soa_snapshot` — occupancy, free-lane masks, inactivity counters,
+I/DT/G-P flags as packed arrays) are numpy ``int64``/``uint8`` arrays
+with a **fixed reduction order** — cells are processed in ascending
+threshold order, channels in index order — so results are independent of
+``PYTHONHASHSEED`` and host.  The trajectory itself stays in the scalar
+object model: bit-exactness with the reference engines is the contract,
+and the per-wake reductions are O(feasible channels), far below numpy's
+per-call overhead.
+
+DET004 (no numpy in kernel packages) is deliberately waived for this
+file: the rule protects the *trajectory* hot paths from host-dependent
+float fast paths, while this module only keeps integer cell/telemetry
+arrays and is gated behind an exact digest-equivalence suite.  The
+import is also optional — without numpy the campaign executor simply
+falls back to per-cell runs (``HAVE_NUMPY``), which keeps the no-numpy
+tier-1 environment fully functional.
+"""
+# repro-lint: disable-file=DET004
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from bisect import bisect_left
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # type: ignore[assignment]
+
+from repro.core.ndm import NewDetectionMechanism
+from repro.metrics.stats import SimulationStats
+from repro.network.channel import PhysicalChannel, VirtualChannel
+from repro.network.config import SimulationConfig
+from repro.network.message import Message
+from repro.network.router import Router
+from repro.network.simulator import Simulator
+from repro.network.types import DetectionEvent, GPState
+
+#: Whether the vectorized batch backend is available on this host.
+HAVE_NUMPY = np is not None
+
+#: Cap on cells folded onto one shared trajectory.  The pending-cell
+#: bitmasks are arbitrary-precision ints, so this is not a correctness
+#: limit — it bounds observer state and keeps per-group wall time (and
+#: therefore pool scheduling granularity) reasonable.
+MAX_CELLS = 64
+
+_G = GPState.GENERATE
+_P = GPState.PROPAGATE
+
+
+def batch_eligible(config: SimulationConfig) -> bool:
+    """True when ``config``'s cells may share one trajectory.
+
+    Requires every source of detection feedback to be absent: NDM with
+    the simple promotion rule (the registry's ``batch_shareable``
+    criterion), no recovery, and a fault-free schedule (fault edges wake
+    parked state conservatively, which is sound but makes per-cell
+    telemetry — and conformance accounting — threshold-coupled).
+    """
+    # Imported here: repro.core.registry imports network.config, and a
+    # module-level import back into repro.network would be cyclic.
+    from repro.core.registry import batch_shareable
+
+    return (
+        batch_shareable(config.detector)
+        and config.recovery == "none"
+        and not config.faults
+    )
+
+
+def batch_group_key(config: SimulationConfig) -> str:
+    """Canonical identity of a config modulo its detection threshold.
+
+    Two eligible configs with equal keys differ at most in
+    ``detector.threshold`` and may therefore join one
+    :class:`BatchSimulator` group.
+    """
+    payload = config.to_dict()
+    payload["detector"] = dict(payload["detector"])
+    payload["detector"]["threshold"] = None
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class BatchNDMObserver(NewDetectionMechanism):
+    """NDM evaluated against K thresholds on one shared trajectory.
+
+    The G/P flag of each input channel is kept per cell as a K-bit mask
+    (bit r set == cell r sees G), because the reference runs disagree on
+    it: once cell r marks a message, that run skips the message's later
+    detector calls, so its first-attempt G/P writes at subsequent hops
+    never happen *in that run*.  The mask update rule mirrors this
+    exactly — a first-attempt write by message ``m`` lands only in the
+    cells still pending on ``m``, while channel-level events (routing
+    success, lane release, reactivation promotion) land in all cells.
+    The detection predicate ``gp == G and min feasible inactivity > t2``
+    is then tested per pending cell against the shared counters.
+    Detections are *recorded* per cell instead of marking the message:
+    :meth:`on_blocked_attempt` always returns False, so the simulator
+    never mutates the shared trajectory on behalf of any one cell.
+    """
+
+    # Recorded detection events must be indistinguishable from the
+    # reference mechanism's (DetectionEvent.mechanism, tracer lines).
+    name = "ndm"
+
+    def __init__(self, thresholds: Sequence[int], t1: int = 1) -> None:
+        if np is None:  # pragma: no cover - executor gates on HAVE_NUMPY
+            raise RuntimeError("the batch backend requires numpy")
+        ladder = sorted({int(t) for t in thresholds})
+        if not ladder:
+            raise ValueError("need at least one threshold")
+        if len(ladder) > MAX_CELLS:
+            raise ValueError(
+                f"{len(ladder)} cells exceed MAX_CELLS={MAX_CELLS}; chunk "
+                "the group (the campaign executor does this automatically)"
+            )
+        # The smallest threshold is the binding t1 < t2 constraint.
+        super().__init__(threshold=ladder[0], t1=t1, selective_promotion=False)
+        #: Ascending, deduplicated threshold ladder (the reduction order).
+        self.thresholds: List[int] = ladder
+        k = len(ladder)
+        self._k = k
+        self._full_mask = (1 << k) - 1
+        #: message id -> bitmask of cells that have not yet detected it
+        #: (bit r == rank r in the ascending ladder).
+        self._pending: Dict[int, int] = {}
+        # Per-cell counters, SoA over the ladder (int64, rank-indexed).
+        self._detections = np.zeros(k, dtype=np.int64)
+        self._detections_measured = np.zeros(k, dtype=np.int64)
+        self._true = np.zeros(k, dtype=np.int64)
+        self._false = np.zeros(k, dtype=np.int64)
+        self._unclassified = np.zeros(k, dtype=np.int64)
+        self._events: List[List[DetectionEvent]] = [[] for _ in range(k)]
+        #: channel index -> K-bit per-cell G/P mask (bit r set == G in
+        #: cell r); sized in :meth:`attach`, all-P like the reference.
+        self._gp_mask: List[int] = []
+
+    def rank_of(self, threshold: int) -> int:
+        """Ladder rank of a threshold (raises if absent)."""
+        return self.thresholds.index(int(threshold))
+
+    def attach(self, sim: "Simulator") -> None:  # type: ignore[override]
+        self._gp_mask = [0] * len(sim.channels)
+        super().attach(sim)
+
+    # ------------------------------------------------------------------
+    # Per-cell G/P flag maintenance
+    # ------------------------------------------------------------------
+    def _first_attempt(
+        self, message: Message, input_pc: PhysicalChannel, cycle: int
+    ) -> None:
+        """First-attempt G/P rule, suppressed per cell like the reference.
+
+        A reference run whose cell has already marked ``message`` skips
+        this call entirely, so the write lands only in the cells still
+        pending on the message.  The branch taken (free lane / advancing
+        output / all blocked) depends only on shared trajectory state
+        and is therefore the same in every cell.  The shared
+        ``input_pc.gp`` keeps the never-marked dynamics so channel-level
+        hooks can cheaply skip all-G channels.
+        """
+        pending = self._pending.get(message.id, self._full_mask)
+        idx = input_pc.index
+        if input_pc.occupied_count < len(input_pc.vcs):
+            input_pc.gp = _P
+            self._gp_mask[idx] &= ~pending
+            return
+        t1 = self.t1
+        for pc in message.feasible_pcs:
+            if pc.inactivity(cycle) <= t1:
+                # Promotion for the unsuppressed cells; the wake below is
+                # a superset of each reference's (spurious wakes re-park).
+                self._gp_mask[idx] |= pending
+                input_pc.gp = _G
+                self._wake_header_waiters(input_pc)
+                return
+        input_pc.gp = _P
+        self._gp_mask[idx] &= ~pending
+
+    def _promote(self, input_pc: PhysicalChannel) -> None:  # type: ignore[override]
+        """Channel-level promotion (I-flag reset hook): every cell to G."""
+        self._gp_mask[input_pc.index] = self._full_mask
+        input_pc.gp = _G
+        self._wake_header_waiters(input_pc)
+
+    def _simple_reset_hook(
+        self, targets: Tuple[PhysicalChannel, ...]
+    ) -> Callable[[PhysicalChannel, int], None]:
+        """Reset hook that also fires when only a *cell's* flag is P.
+
+        The parent's hook short-circuits on the shared flag already
+        being G, which would skip channels where some cell still holds P
+        (suppressed writes diverge the two).
+        """
+        promote = self._promote
+        gp_mask = self._gp_mask
+        full = self._full_mask
+
+        def hook(pc: PhysicalChannel, cycle: int) -> None:
+            for input_pc in targets:
+                if input_pc.gp is not _G or gp_mask[input_pc.index] != full:
+                    promote(input_pc)
+
+        return hook
+
+    @staticmethod
+    def _wake_header_waiters(input_pc: PhysicalChannel) -> None:
+        if input_pc.header_waiters:
+            box = input_pc.wake_box
+            for m in input_pc.header_waiters:
+                if m.route_asleep:
+                    m.route_asleep = False
+                    box[0] -= 1
+
+    def on_message_routed(self, message: Message, cycle: int) -> None:
+        """Routing success resets the input flag to P in every cell
+        (the reference calls this hook even for marked messages)."""
+        input_pc = message.input_pc
+        if input_pc is not None:
+            self._gp_mask[input_pc.index] = 0
+        super().on_message_routed(message, cycle)
+
+    def on_vc_released(self, vc: VirtualChannel, cycle: int) -> None:
+        """Lane release resets the flag to P in every cell."""
+        self._gp_mask[vc.pc.index] = 0
+        super().on_vc_released(vc, cycle)
+
+    # ------------------------------------------------------------------
+    def on_blocked_attempt(
+        self, message: Message, router: Router, cycle: int, first_attempt: bool
+    ) -> bool:
+        input_pc = message.input_pc
+        if input_pc is None:  # pragma: no cover - headers always hold a VC
+            return False
+        if first_attempt:
+            self._first_attempt(message, input_pc, cycle)
+            return False
+        pending = self._pending.get(message.id, self._full_mask)
+        # Cells that can detect now: still pending *and* seeing G.
+        eligible = pending & self._gp_mask[input_pc.index]
+        if not eligible:
+            return False
+        # Reference predicate per cell t: every feasible output's
+        # inactivity exceeds t  <=>  t < min feasible inactivity.
+        min_inact: Optional[int] = None
+        for pc in message.feasible_pcs:
+            value = pc.inactivity(cycle)
+            if min_inact is None or value < min_inact:
+                min_inact = value
+        if min_inact is None:
+            count = self._k  # no feasible output: every cell detects
+        else:
+            count = bisect_left(self.thresholds, min_inact)
+        hit = eligible & ((1 << count) - 1)
+        if hit:
+            self._pending[message.id] = pending & ~hit
+            self._record(message, cycle, hit)
+        return False  # never mark: the trajectory is shared
+
+    def blocked_deadline(self, message: Message, cycle: int) -> Optional[int]:
+        """Composite deadline: the earliest any pending cell can detect.
+
+        Per cell t the reference deadline is ``max(cycle+1, A + t + 1)``
+        with ``A`` the latest occupied feasible channel's counter base
+        (``max(last_flit, active_since) + lag``) — unless some feasible
+        channel is frozen at or below t, in which case cell t cannot
+        detect before a re-occupation (itself a wakeup event).  The
+        deadline is monotone in t, so the composite minimum is realized
+        by the smallest eligible (pending and seeing G) threshold below
+        the frozen floor ``F``; cells seeing P can only become eligible
+        through a promotion, which wakes the parked header itself.
+        Waking at the composite, failing the attempt and re-parking
+        walks the chain until every cell's exact first-detection cycle
+        has been visited.
+        """
+        input_pc = message.input_pc
+        if input_pc is None:
+            return None
+        pending = self._pending.get(message.id, self._full_mask)
+        if not pending:
+            return None  # every cell already detected: sleep like marked
+        eligible = pending & self._gp_mask[input_pc.index]
+        if not eligible:
+            return None  # detection needs a promotion first, which wakes
+        t_low = self.thresholds[(eligible & -eligible).bit_length() - 1]
+        base: Optional[int] = None  # A over occupied feasible channels
+        floor: Optional[int] = None  # F: min frozen inactivity
+        for pc in message.feasible_pcs:
+            if pc.occupied_count:
+                start = pc.last_flit_cycle
+                if pc.active_since > start:
+                    start = pc.active_since
+                start += pc.counter_lag
+                if base is None or start > base:
+                    base = start
+            else:
+                frozen = pc.inactivity(cycle)
+                if floor is None or frozen < floor:
+                    floor = frozen
+        if floor is not None and t_low >= floor:
+            return None  # no pending cell can cross before a re-occupation
+        if base is None:
+            return cycle + 1  # all feasible channels frozen above t_low
+        deadline = base + t_low + 1
+        return deadline if deadline > cycle else cycle + 1
+
+    # ------------------------------------------------------------------
+    def _record(self, message: Message, cycle: int, hit: int) -> None:
+        """Append one detection event per hit cell (ascending ranks)."""
+        sim = self.sim
+        truly: Optional[bool] = None
+        if sim.config.ground_truth_on_detection:
+            truly = message in sim._truth_at(cycle)
+        node = message.header_router()
+        if node is None:  # pragma: no cover - blocked headers sit in-network
+            node = message.inject_node
+        measuring = sim.measuring
+        ranks: List[int] = []
+        mask = hit
+        while mask:
+            low = mask & -mask
+            ranks.append(low.bit_length() - 1)
+            mask ^= low
+        idx = np.asarray(ranks, dtype=np.int64)
+        self._detections[idx] += 1
+        if measuring:
+            self._detections_measured[idx] += 1
+        if truly is None:
+            self._unclassified[idx] += 1
+        elif truly:
+            self._true[idx] += 1
+        else:
+            self._false[idx] += 1
+        for rank in ranks:
+            self._events[rank].append(
+                DetectionEvent(
+                    cycle=cycle,
+                    message_id=message.id,
+                    node=node,
+                    mechanism=self.name,
+                    truly_deadlocked=truly,
+                )
+            )
+
+    def fold_cell(self, shared: SimulationStats, rank: int) -> SimulationStats:
+        """Per-cell stats for ladder rank ``rank`` from the shared run.
+
+        Only the detection family differs between cells; with
+        ``recovery="none"`` a message is detected at most once per cell,
+        so event counts equal distinct-message counts.
+        """
+        detections = int(self._detections[rank])
+        detections_measured = int(self._detections_measured[rank])
+        return dataclasses.replace(
+            shared,
+            detections=detections,
+            detections_measured=detections_measured,
+            messages_detected=detections,
+            messages_detected_measured=detections_measured,
+            true_detections=int(self._true[rank]),
+            false_detections=int(self._false[rank]),
+            unclassified_detections=int(self._unclassified[rank]),
+            detection_events=list(self._events[rank]),
+            phase_time=dict(shared.phase_time),
+            engine_counters=dict(shared.engine_counters),
+        )
+
+
+class BatchSimulator:
+    """One shared trajectory serving many threshold cells.
+
+    Args:
+        config: any cell's config (the threshold field is ignored); must
+            satisfy :func:`batch_eligible`.
+        thresholds: the cells' detection thresholds, any order,
+            duplicates allowed; results align with this sequence.
+    """
+
+    def __init__(
+        self, config: SimulationConfig, thresholds: Sequence[int]
+    ) -> None:
+        if np is None:
+            raise RuntimeError(
+                "the batch backend requires numpy (HAVE_NUMPY is False); "
+                "run the cells individually instead"
+            )
+        if not batch_eligible(config):
+            raise ValueError(
+                "config is not batch-shareable: needs mechanism='ndm' with "
+                "simple promotion, recovery='none' and no fault schedule"
+            )
+        self.thresholds = [int(t) for t in thresholds]
+        self.observer = BatchNDMObserver(
+            self.thresholds, t1=config.detector.t1
+        )
+        run_config = config.replace(engine="batch")
+        # The injected observer supersedes the registry detector, but the
+        # config still validates (t1 < min threshold is the binding case).
+        run_config.detector.threshold = self.observer.thresholds[0]
+        self.sim = Simulator(run_config, detector=self.observer)
+
+    def run(self) -> List[SimulationStats]:
+        """Advance the shared trajectory; return stats aligned with the
+        constructor's threshold sequence (duplicates get equal copies)."""
+        shared = self.sim.run()
+        observer = self.observer
+        folded = {
+            rank: observer.fold_cell(shared, rank)
+            for rank in range(len(observer.thresholds))
+        }
+        return [folded[observer.rank_of(t)] for t in self.thresholds]
+
+
+def run_batch(
+    config: SimulationConfig, thresholds: Sequence[int]
+) -> List[SimulationStats]:
+    """Convenience wrapper: build and run one :class:`BatchSimulator`."""
+    return BatchSimulator(config, thresholds).run()
+
+
+# ----------------------------------------------------------------------
+# SoA channel-state snapshot (determinism digests, telemetry)
+# ----------------------------------------------------------------------
+
+def soa_snapshot(
+    sim: Simulator, cycle: int, thresholds: Sequence[int] = ()
+) -> Dict[str, Any]:
+    """Channel state as integer structure-of-arrays (channel-index order).
+
+    Returns numpy arrays — occupancy counts, free/usable lane masks,
+    inactivity counters, G/P flags, and per-threshold I/DT flags packed
+    to bits — in a fixed order independent of ``PYTHONHASHSEED``, so
+    :func:`soa_digest` is a stable fingerprint of simulated state.
+    """
+    if np is None:
+        raise RuntimeError("soa_snapshot requires numpy")
+    channels = sim.channels
+    n = len(channels)
+    occupied = np.empty(n, dtype=np.int64)
+    free_mask = np.empty(n, dtype=np.int64)
+    usable_mask = np.empty(n, dtype=np.int64)
+    inactivity = np.empty(n, dtype=np.int64)
+    gp = np.empty(n, dtype=np.uint8)
+    for i, pc in enumerate(channels):
+        occupied[i] = pc.occupied_count
+        free_mask[i] = pc.free_mask
+        usable_mask[i] = pc.usable_mask
+        inactivity[i] = pc.inactivity(cycle)
+        gp[i] = 1 if pc.gp is _G else 0
+    ladder = np.asarray(sorted({int(t) for t in thresholds}), dtype=np.int64)
+    snapshot: Dict[str, Any] = {
+        "occupied": occupied,
+        "free_mask": free_mask,
+        "usable_mask": usable_mask,
+        "inactivity": inactivity,
+        "gp": gp,
+        "thresholds": ladder,
+    }
+    if ladder.size:
+        # flags[r, c] == channel c's counter exceeds ladder[r]; packed to
+        # bits row-major, the paper's I/DT flag matrix in SoA form.
+        flags = inactivity[np.newaxis, :] > ladder[:, np.newaxis]
+        snapshot["dt_flags"] = np.packbits(flags, axis=1)
+    return snapshot
+
+
+def soa_digest(snapshot: Dict[str, Any]) -> str:
+    """SHA-256 over a snapshot's arrays in fixed key order."""
+    if np is None:  # pragma: no cover - callers hold a snapshot already
+        raise RuntimeError("soa_digest requires numpy")
+    digest = hashlib.sha256()
+    for key in sorted(snapshot):
+        array = np.ascontiguousarray(snapshot[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def plan_batches(
+    configs: Sequence[SimulationConfig],
+) -> Tuple[List[List[int]], List[int]]:
+    """Group config indices into shareable batches (plus leftovers).
+
+    Returns ``(groups, singles)`` of indices into ``configs``: each
+    group holds >= 2 eligible configs equal modulo threshold (chunked to
+    :data:`MAX_CELLS` *distinct* thresholds); everything else — unshare-
+    able configs, lone group members, numpy-less hosts — lands in
+    ``singles``.  Order within groups and singles follows the input, so
+    planning is deterministic.
+    """
+    singles: List[int] = []
+    if not HAVE_NUMPY:
+        return [], list(range(len(configs)))
+    by_key: Dict[str, List[int]] = {}
+    for i, config in enumerate(configs):
+        if config.engine == "batch" and batch_eligible(config):
+            by_key.setdefault(batch_group_key(config), []).append(i)
+        else:
+            singles.append(i)
+    groups: List[List[int]] = []
+    for key in sorted(by_key):
+        members = by_key[key]
+        if len(members) < 2:
+            singles.extend(members)
+            continue
+        # Chunk by distinct thresholds; duplicates ride with their value.
+        chunk: List[int] = []
+        seen: set = set()
+        for i in members:
+            t = configs[i].detector.threshold
+            if t not in seen and len(seen) == MAX_CELLS:
+                groups.append(chunk)
+                chunk, seen = [], set()
+            seen.add(t)
+            chunk.append(i)
+        if len(chunk) >= 2:
+            groups.append(chunk)
+        else:
+            singles.extend(chunk)
+    singles.sort()
+    return groups, singles

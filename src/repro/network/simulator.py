@@ -23,7 +23,8 @@ routing retried every cycle for blocked headers, one flit per cycle per
 physical channel (virtual channels time-multiplexed), channel inactivity
 measured from the last flit transmission.
 
-Two engines execute this model (``SimulationConfig.engine``):
+Three engines execute this model (``SimulationConfig.engine``), each a
+cycle kernel from :mod:`repro.network.kernel` sequencing the same phases:
 
 * ``"scan"`` — the reference: every blocked header re-attempts routing
   and every worm is visited by the movement scan, each cycle.
@@ -35,6 +36,9 @@ Two engines execute this model (``SimulationConfig.engine``):
   (re-derived lazily when a flit crossing a feasible channel pushes it
   out); worms with no structurally movable flit likewise park until
   routing grants their header a channel.
+* ``"batch"`` — per-run identical to ``"event"``; additionally eligible
+  for :class:`repro.network.batch.BatchSimulator`, which advances many
+  threshold cells of a campaign grid over one shared trajectory.
 
 Both engines keep the same message lists in the same (rotating) order
 and consume the same RNG stream — failed routing attempts draw nothing —
@@ -50,7 +54,6 @@ from __future__ import annotations
 import heapq
 import random
 from collections import deque
-from time import perf_counter
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -69,6 +72,7 @@ from repro.faults.spec import FaultSpec
 from repro.metrics.stats import SimulationStats
 from repro.network.channel import PhysicalChannel, VirtualChannel
 from repro.network.config import SimulationConfig
+from repro.network.kernel import make_kernel
 from repro.network.message import Message
 from repro.network.rotating import RotatingList
 from repro.network.router import Router
@@ -77,6 +81,7 @@ from repro.network.types import DetectionEvent, MessageStatus, NodeId, PortKind
 from repro.traffic.workload import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.detector import DeadlockDetector
     from repro.network.tracing import Tracer
 
 #: Keys of the per-phase wall-time accumulators in ``stats.phase_time``.
@@ -84,9 +89,23 @@ PHASES = ("checks", "probes", "routing", "movement", "injection", "generation")
 
 
 class Simulator:
-    """One simulation instance built from a :class:`SimulationConfig`."""
+    """One simulation instance built from a :class:`SimulationConfig`.
 
-    def __init__(self, config: SimulationConfig) -> None:
+    Args:
+        config: the fully resolved run description (validated here).
+        detector: optional pre-built detection mechanism to use instead
+            of the registry-built one — the batch backend injects a
+            composite observer that evaluates many thresholds against
+            one shared trajectory (see :mod:`repro.network.batch`).
+            The injected detector must be side-effect-free on the
+            network trajectory wherever the registry detector would be.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        detector: Optional["DeadlockDetector"] = None,
+    ) -> None:
         config.validate()
         self.config = config
         self.topology = config.build_topology()
@@ -115,7 +134,9 @@ class Simulator:
         from repro.core.recovery import make_recovery
         from repro.core.registry import make_detector
 
-        self.detector = make_detector(config.detector)
+        self.detector = (
+            detector if detector is not None else make_detector(config.detector)
+        )
         self.detector.attach(self)
         self.recovery = make_recovery(config.recovery, self)
 
@@ -133,9 +154,13 @@ class Simulator:
         # calls per cycle are measurable on the hot path (see
         # docs/performance.md), so step() skips them unless profiling.
         self._profile = config.profile_phases
+        # The cycle kernel sequences the phases (see repro.network.kernel);
+        # per-run, "batch" behaves exactly like "event" — the batch win is
+        # the shared advance in repro.network.batch.
+        self._kernel = make_kernel(config.engine)
         # Event engine state.  Parking is only sound when the detector has
         # no per-attempt side effects on blocked messages.
-        self._park_enabled = config.engine == "event"
+        self._park_enabled = config.engine in ("event", "batch")
         self._detector_can_sleep = self.detector.can_sleep_blocked
         # Probe-family detectors get a dedicated out-of-band phase between
         # checks and routing; for every other detector the gate stays
@@ -311,38 +336,7 @@ class Simulator:
         if injector is not None:
             injector.apply(cycle)
 
-        if self._profile:
-            t0 = perf_counter()
-            self._checks_phase(cycle)
-            t1 = perf_counter()
-            if self._probe_phase_on:
-                self._probes_phase(cycle)
-            t1b = perf_counter()
-            self._routing_phase(cycle)
-            t2 = perf_counter()
-            self._movement_phase(cycle)
-            t3 = perf_counter()
-            self._injection_phase(cycle)
-            t4 = perf_counter()
-            if self.generation_enabled:
-                self._generation_phase(cycle)
-            t5 = perf_counter()
-            pt = self._phase_time
-            pt["checks"] += t1 - t0
-            pt["probes"] += t1b - t1
-            pt["routing"] += t2 - t1b
-            pt["movement"] += t3 - t2
-            pt["injection"] += t4 - t3
-            pt["generation"] += t5 - t4
-        else:
-            self._checks_phase(cycle)
-            if self._probe_phase_on:
-                self._probes_phase(cycle)
-            self._routing_phase(cycle)
-            self._movement_phase(cycle)
-            self._injection_phase(cycle)
-            if self.generation_enabled:
-                self._generation_phase(cycle)
+        self._kernel.advance(self, cycle)
         self.cycle = cycle + 1
 
     # ------------------------------------------------------------------

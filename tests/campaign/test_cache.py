@@ -37,10 +37,25 @@ class TestResultCache:
     def test_corrupt_entry_is_a_miss(self, cache):
         path = cache.put(KEY, {"x": 1})
         path.write_text("{not json")
-        assert cache.get(KEY) is None
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert cache.get(KEY) is None
         # and can be overwritten cleanly
         cache.put(KEY, {"x": 2})
         assert cache.get(KEY) == {"x": 2}
+
+    def test_truncated_entry_is_a_miss(self, cache):
+        """A killed writer's torn tail must not poison later reads."""
+        path = cache.put(KEY, {"cell": {"percentage": 1.5}, "x": 1})
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            assert cache.get(KEY) is None
+
+    def test_wrong_shape_entry_is_a_miss(self, cache):
+        path = cache.put(KEY, {"x": 1})
+        path.write_text("[1, 2, 3]")  # valid JSON, not an object
+        with pytest.warns(RuntimeWarning, match="not an"):
+            assert cache.get(KEY) is None
 
     def test_clear(self, cache):
         cache.put(KEY, {"x": 1})

@@ -17,6 +17,14 @@ def tiny_jobs(spec=None, base=None):
     return jobs
 
 
+def batch_base():
+    """Tiny-grid base that makes every cell batch-shareable."""
+    base = tiny_base()
+    base.engine = "batch"
+    base.recovery = "none"
+    return base
+
+
 class TestDeterminism:
     def test_serial_matches_direct_run_cell(self):
         """The executor path (stats round-trip included) is bit-identical
@@ -153,3 +161,86 @@ class TestResume:
         execute_jobs(jobs, num_workers=1, checkpoint=ck)
         outcomes = execute_jobs(jobs, num_workers=1, checkpoint=ck)
         assert all(o.source == "run" for o in outcomes.values())
+
+
+class TestStoredEntryValidation:
+    """Torn or hand-edited stored entries downgrade to a re-run."""
+
+    def test_malformed_manifest_entry_reruns(self, tmp_path):
+        jobs = tiny_jobs()
+        ck = CampaignCheckpoint(tmp_path / "m.jsonl")
+        ck.record_cell(
+            key=jobs[0].key,
+            config_hash=jobs[0].config_hash,
+            cell={"percentage": "not-a-number"},  # wrong shape
+            wall_time=0.1,
+            worker="serial",
+            source="run",
+        )
+        with pytest.warns(RuntimeWarning, match="malformed resume entry"):
+            outcomes = execute_jobs(
+                jobs[:1], num_workers=1, checkpoint=ck, resume=True
+            )
+        assert outcomes[jobs[0].key].source == "run"
+
+    def test_malformed_cache_entry_reruns(self, tmp_path):
+        jobs = tiny_jobs()
+        cache = ResultCache(tmp_path)
+        # Valid JSON object, but not a result payload (e.g. a partially
+        # migrated entry): must warn, miss, and be healed by the re-run.
+        cache.put(jobs[0].config_hash, {"something": "else"})
+        with pytest.warns(RuntimeWarning, match="malformed cache entry"):
+            outcomes = execute_jobs(jobs[:1], num_workers=1, cache=cache)
+        assert outcomes[jobs[0].key].source == "run"
+        healed = execute_jobs(jobs[:1], num_workers=1, cache=cache)
+        assert healed[jobs[0].key].source == "cache"
+        assert healed[jobs[0].key].cell == outcomes[jobs[0].key].cell
+
+
+class TestBatchGrouping:
+    """engine="batch" cells equal modulo threshold share one trajectory."""
+
+    def test_batch_cells_equal_event_cells(self):
+        import repro.campaign.executor as executor_module
+
+        batch_jobs = tiny_jobs(base=batch_base())
+        event_base = batch_base()
+        event_base.engine = "event"
+        event_jobs = tiny_jobs(base=event_base)
+
+        grouped = []
+        original = executor_module._execute_batch_payload
+
+        def spy(payload):
+            grouped.append(sorted(payload["keys"]))
+            return original(payload)
+
+        executor_module._execute_batch_payload = spy
+        try:
+            batched = execute_jobs(batch_jobs, num_workers=1)
+        finally:
+            executor_module._execute_batch_payload = original
+        plain = execute_jobs(event_jobs, num_workers=1)
+
+        # One shared run per load level (the two thresholds fold).
+        assert len(grouped) == 2
+        assert all(len(keys) == 2 for keys in grouped)
+        for b_job, e_job in zip(batch_jobs, event_jobs):
+            assert batched[b_job.key].cell == plain[e_job.key].cell
+
+    def test_batch_pool_matches_serial(self):
+        jobs = tiny_jobs(base=batch_base())
+        serial = execute_jobs(jobs, num_workers=1)
+        pooled = execute_jobs(jobs, num_workers=2)
+        for key in serial:
+            assert serial[key].cell == pooled[key].cell
+
+    def test_batch_results_cached_per_cell(self, tmp_path):
+        jobs = tiny_jobs(base=batch_base())
+        cache = ResultCache(tmp_path)
+        first = execute_jobs(jobs, num_workers=1, cache=cache)
+        assert cache.size() == len(jobs)
+        second = execute_jobs(jobs, num_workers=1, cache=cache)
+        for key in first:
+            assert second[key].source == "cache"
+            assert second[key].cell == first[key].cell

@@ -1,0 +1,14 @@
+"""Offending fixture: a botched attempt at the batch backend's waiver.
+
+The file-wide disable names the wrong rule code, so the numpy imports in
+this kernel-scoped module still fire — an exemption is only as good as
+the exact code it names.
+"""
+# repro-lint: disable-file=DET003
+
+import numpy  # expect: DET004
+from numpy import int64  # expect: DET004
+
+
+def counters(k: int) -> object:
+    return numpy.zeros(k, dtype=int64)

@@ -1,0 +1,21 @@
+"""Clean fixture: the batch backend's scoped DET004 waiver, done right.
+
+Mirrors ``repro.network.batch``: a kernel-package module may import
+numpy only under an explicit file-wide disable that names DET004 and is
+paired with a digest-equivalence gate (see docs/performance.md).  The
+import is also optional, so numpy-less hosts keep working.
+"""
+# repro-lint: disable-file=DET004
+
+try:
+    import numpy as np
+except ImportError:
+    np = None
+
+HAVE_NUMPY = np is not None
+
+
+def counters(k: int) -> object:
+    if np is None:
+        raise RuntimeError("requires numpy")
+    return np.zeros(k, dtype=np.int64)

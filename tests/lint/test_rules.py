@@ -34,6 +34,7 @@ BAD_CASES = [
     ("det002_bad.py", "repro.analysis.det002_bad"),
     ("det003_bad.py", "repro.network.det003_bad"),
     ("det004_bad.py", "repro.traffic.det004_bad"),
+    ("det004_exempt_bad.py", "repro.network.det004_exempt_bad"),
     ("proto001_bad.py", "repro.core.proto001_bad"),
     ("proto001_probe_bad.py", "repro.core.proto001_probe_bad"),
     ("proto002_bad.py", "repro.metrics.proto002_bad"),
@@ -44,6 +45,7 @@ CLEAN_CASES = [
     ("det002_clean.py", "repro.analysis.det002_clean"),
     ("det003_clean.py", "repro.network.det003_clean"),
     ("det004_clean.py", "repro.traffic.det004_clean"),
+    ("det004_exempt_clean.py", "repro.network.det004_exempt_clean"),
     ("proto001_clean.py", "repro.core.proto001_clean"),
     ("proto001_probe_clean.py", "repro.core.proto001_probe_clean"),
     ("proto002_clean.py", "repro.metrics.proto002_clean"),

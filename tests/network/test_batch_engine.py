@@ -1,0 +1,292 @@
+"""Digest-equivalence gate for the batch SoA campaign backend.
+
+The batch backend (``repro.network.batch``) folds every detection
+threshold of a campaign grid onto one shared trajectory.  Its right to
+exist is *bit-identical* per-cell results: each folded cell's
+``to_dict(include_perf=False)`` — detection events included — must equal
+an independent ``engine="event"`` run of that cell.  These tests enforce
+that over the engine-equivalence corpus, plus the planner's grouping
+rules, the fixed reduction order (PYTHONHASHSEED independence) and the
+``engine="batch"`` single-run path.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+import repro.network.batch as batch_module  # noqa: E402
+from repro.network.batch import (  # noqa: E402
+    BatchSimulator,
+    batch_eligible,
+    batch_group_key,
+    plan_batches,
+    run_batch,
+    soa_digest,
+    soa_snapshot,
+)
+from repro.network.config import SimulationConfig  # noqa: E402
+from repro.network.simulator import Simulator  # noqa: E402
+from tests.network.test_engine_equivalence import CASES, _config  # noqa: E402
+
+#: The campaign threshold ladder used throughout (non-powers included).
+LADDER = [4, 8, 13, 16, 32]
+
+
+def _event_cells(config: SimulationConfig, thresholds):
+    cells = []
+    for t in thresholds:
+        cell = config.replace(engine="event")
+        cell.detector.threshold = t
+        cells.append(Simulator(cell).run())
+    return cells
+
+
+def assert_batch_matches_event(config: SimulationConfig, thresholds) -> None:
+    batch = run_batch(config.replace(engine="batch"), thresholds)
+    event = _event_cells(config, thresholds)
+    for t, b, e in zip(thresholds, batch, event):
+        assert b.to_dict(include_perf=False) == e.to_dict(
+            include_perf=False
+        ), f"threshold {t}"
+
+
+# ----------------------------------------------------------------------
+# Digest equivalence over the corpus
+# ----------------------------------------------------------------------
+
+#: Equivalence-corpus cases that are batch-shareable as-is or become so
+#: with recovery forced to "none" (the backend's eligibility domain).
+ELIGIBLE_CASES = sorted(
+    name
+    for name, overrides in CASES.items()
+    if overrides.get("mechanism") == "ndm"
+    and not overrides.get("selective_promotion")
+)
+
+
+@pytest.mark.parametrize("case", ELIGIBLE_CASES)
+def test_batch_cells_bit_identical_over_corpus(case):
+    overrides = dict(CASES[case])
+    overrides["recovery"] = "none"
+    assert_batch_matches_event(_config(**overrides), LADDER)
+
+
+def test_batch_cells_bit_identical_saturated_torus():
+    """The benchmark's regime: 64 nodes beyond saturation."""
+    config = _config(
+        radix=8,
+        mechanism="ndm",
+        threshold=32,
+        injection_rate=1.0,
+        recovery="none",
+        warmup_cycles=100,
+        measure_cycles=400,
+    )
+    assert_batch_matches_event(config, [2, 8, 32, 128, 512])
+
+
+def test_duplicate_and_unsorted_thresholds_align_with_input():
+    config = _config(mechanism="ndm", threshold=16, recovery="none")
+    thresholds = [16, 4, 16, 8]
+    batch = run_batch(config.replace(engine="batch"), thresholds)
+    event = _event_cells(config, thresholds)
+    assert [b.to_dict(include_perf=False) for b in batch] == [
+        e.to_dict(include_perf=False) for e in event
+    ]
+    # The two th=16 cells are the same folded object's stats.
+    assert batch[0].to_dict() == batch[2].to_dict()
+
+
+def test_single_cell_batch_matches_event():
+    config = _config(mechanism="ndm", threshold=16, recovery="none")
+    assert_batch_matches_event(config, [16])
+
+
+# ----------------------------------------------------------------------
+# engine="batch" as a plain per-run engine
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_batch_engine_single_run_matches_event(case):
+    """A lone ``engine="batch"`` run is the event engine, for *any*
+    detector — the batch kernel only changes campaign-level grouping."""
+    config = _config(**CASES[case])
+    stats_event = Simulator(config.replace(engine="event")).run()
+    stats_batch = Simulator(config.replace(engine="batch")).run()
+    assert stats_event.to_dict(include_perf=False) == stats_batch.to_dict(
+        include_perf=False
+    )
+
+
+def test_engine_accepts_batch():
+    config = _config()
+    config.engine = "batch"
+    config.validate()
+
+
+# ----------------------------------------------------------------------
+# Eligibility and planning
+# ----------------------------------------------------------------------
+
+def _eligible_config(threshold=16, **overrides):
+    config = _config(mechanism="ndm", threshold=threshold, recovery="none",
+                     **overrides)
+    return config.replace(engine="batch")
+
+
+class TestEligibility:
+    def test_eligible(self):
+        assert batch_eligible(_eligible_config())
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(mechanism="timeout"),
+            dict(mechanism="pdm"),
+            dict(selective_promotion=True),
+            dict(recovery="progressive"),
+        ],
+    )
+    def test_feedback_sources_ineligible(self, overrides):
+        config = _config(
+            **{"mechanism": "ndm", "threshold": 16, "recovery": "none",
+               **overrides}
+        )
+        assert not batch_eligible(config)
+
+    def test_batch_simulator_rejects_ineligible(self):
+        config = _config(mechanism="ndm", threshold=16,
+                         recovery="progressive")
+        with pytest.raises(ValueError, match="not batch-shareable"):
+            BatchSimulator(config, [8, 16])
+
+    def test_group_key_ignores_threshold_only(self):
+        a, b = _eligible_config(threshold=8), _eligible_config(threshold=32)
+        assert batch_group_key(a) == batch_group_key(b)
+        c = _eligible_config(threshold=8, seed=21)
+        assert batch_group_key(a) != batch_group_key(c)
+
+
+class TestPlanBatches:
+    def test_groups_threshold_siblings(self):
+        configs = [_eligible_config(threshold=t) for t in (4, 8, 16)]
+        configs.append(_eligible_config(threshold=4, seed=21))
+        groups, singles = plan_batches(configs)
+        assert groups == [[0, 1, 2]]
+        assert singles == [3]
+
+    def test_non_batch_engine_stays_single(self):
+        configs = [
+            _eligible_config(threshold=4).replace(engine="event"),
+            _eligible_config(threshold=8).replace(engine="event"),
+        ]
+        groups, singles = plan_batches(configs)
+        assert groups == []
+        assert singles == [0, 1]
+
+    def test_lone_member_stays_single(self):
+        groups, singles = plan_batches([_eligible_config()])
+        assert groups == []
+        assert singles == [0]
+
+    def test_chunking_respects_max_cells(self, monkeypatch):
+        monkeypatch.setattr(batch_module, "MAX_CELLS", 3)
+        configs = [_eligible_config(threshold=2 + t) for t in range(7)]
+        groups, singles = plan_batches(configs)
+        assert groups == [[0, 1, 2], [3, 4, 5]]
+        assert singles == [6]
+
+    def test_duplicates_ride_with_their_value(self, monkeypatch):
+        monkeypatch.setattr(batch_module, "MAX_CELLS", 2)
+        configs = [
+            _eligible_config(threshold=t) for t in (4, 4, 8, 16)
+        ]
+        groups, singles = plan_batches(configs)
+        # 4, 4, 8 share two distinct values; 16 would open a third.
+        assert groups == [[0, 1, 2]]
+        assert singles == [3]
+
+
+# ----------------------------------------------------------------------
+# Fixed reduction order / SoA snapshot determinism
+# ----------------------------------------------------------------------
+
+def _batch_digest_under_hashseed(hashseed: str) -> str:
+    """Per-cell stats + SoA snapshot digest in a fixed-hash subprocess."""
+    script = """
+import hashlib, json
+from repro.network.batch import BatchSimulator, soa_digest, soa_snapshot
+from tests.network.test_engine_equivalence import _config
+
+config = _config(
+    mechanism="ndm", threshold=16, recovery="none", injection_rate=0.6
+).replace(engine="batch")
+bs = BatchSimulator(config, [4, 8, 13, 16, 32])
+cells = bs.run()
+payload = [c.to_dict(include_events=False, include_perf=False) for c in cells]
+digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode())
+snapshot = soa_snapshot(bs.sim, bs.sim.cycle, thresholds=bs.thresholds)
+digest.update(soa_digest(snapshot).encode())
+print(digest.hexdigest())
+"""
+    repo_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(
+            None,
+            [str(repo_root / "src"), str(repo_root), env.get("PYTHONPATH")],
+        )
+    )
+    env["PYTHONHASHSEED"] = hashseed
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    )
+    return result.stdout.strip()
+
+
+def test_batch_results_identical_across_hash_seeds():
+    """Cell folding and SoA reductions run in ladder/channel-index
+    order, never in hash order: two interpreters with different hash
+    randomization must produce byte-identical cells and snapshots."""
+    assert _batch_digest_under_hashseed("0") == _batch_digest_under_hashseed(
+        "4242"
+    )
+
+
+class TestSoASnapshot:
+    def _sim(self):
+        config = _config(mechanism="ndm", threshold=16, recovery="none")
+        sim = Simulator(config.replace(engine="batch"))
+        sim.run()
+        return sim
+
+    def test_arrays_and_digest(self):
+        sim = self._sim()
+        snapshot = soa_snapshot(sim, sim.cycle, thresholds=[4, 16])
+        n = len(sim.channels)
+        for key in ("occupied", "free_mask", "usable_mask", "inactivity"):
+            assert snapshot[key].shape == (n,)
+            assert snapshot[key].dtype == np.int64
+        assert snapshot["gp"].shape == (n,)
+        assert snapshot["dt_flags"].shape[0] == 2  # one row per threshold
+        # Deterministic: same state, same digest; different cycle differs.
+        again = soa_snapshot(sim, sim.cycle, thresholds=[4, 16])
+        assert soa_digest(snapshot) == soa_digest(again)
+        later = soa_snapshot(sim, sim.cycle + 100, thresholds=[4, 16])
+        assert soa_digest(snapshot) != soa_digest(later)
+
+    def test_no_thresholds_no_flag_matrix(self):
+        sim = self._sim()
+        snapshot = soa_snapshot(sim, sim.cycle)
+        assert "dt_flags" not in snapshot
