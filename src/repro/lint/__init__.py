@@ -15,11 +15,17 @@ self-register in ~30 lines (see ``repro.lint.rules``).
 """
 
 from repro.lint.engine import LintResult, lint_file, run_lint
-from repro.lint.findings import Finding, format_json, format_text
+from repro.lint.findings import (
+    Finding,
+    format_json,
+    format_sarif,
+    format_text,
+)
 from repro.lint.registry import Rule, all_rules, get_rule, register_rule
 
-# Importing the rules module registers the built-in rules.
+# Importing the rule modules registers the built-in rules.
 import repro.lint.rules as _rules  # noqa: F401
+import repro.lint.rules_effects as _rules_effects  # noqa: F401
 
 __all__ = [
     "Finding",
@@ -27,6 +33,7 @@ __all__ = [
     "Rule",
     "all_rules",
     "format_json",
+    "format_sarif",
     "format_text",
     "get_rule",
     "lint_file",

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.lint.effects import build_effect_index
 from repro.lint.findings import Finding
 from repro.lint.module import ClassSummary, ModuleInfo, module_name_for
 from repro.lint.registry import Rule, all_rules
@@ -63,9 +64,12 @@ def _run_rules(
     for module in modules:
         for cls in module.classes:
             index[cls.qualname] = cls
+    # Cross-file effect summaries for the EFF/PROTO003 rule family.
+    effect_index = build_effect_index(modules)
     findings: List[Finding] = []
     for module in modules:
         module.class_index = index  # type: ignore[attr-defined]
+        module.effect_index = effect_index  # type: ignore[attr-defined]
         for rule in rules:
             if not rule.applies_to(module.module_name):
                 continue

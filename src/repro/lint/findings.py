@@ -1,10 +1,10 @@
-"""Finding records and the two output formatters (text and JSON)."""
+"""Finding records and the output formatters (text, JSON, SARIF)."""
 
 from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass
-from typing import Iterable, List
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -48,3 +48,66 @@ def format_json(findings: Iterable[Finding]) -> str:
         for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
     ]
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: SARIF 2.1.0 constants (the schema GitHub code scanning ingests).
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_SARIF_VERSION = "2.1.0"
+
+
+def format_sarif(
+    findings: Iterable[Finding],
+    rule_meta: Sequence[Tuple[str, str, str]] = (),
+) -> str:
+    """SARIF 2.1.0 log for CI upload (GitHub code-scanning annotations).
+
+    ``rule_meta`` is ``(code, summary, hint)`` per registered rule —
+    passed in by the CLI so this module stays free of a registry import.
+    Columns are converted to SARIF's 1-based convention.
+    """
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": code,
+            "shortDescription": {"text": summary},
+            "help": {"text": hint},
+        }
+        for code, summary, hint in rule_meta
+    ]
+    results: List[Dict[str, Any]] = [
+        {
+            "ruleId": f.code,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+    ]
+    log: Dict[str, Any] = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -31,9 +31,10 @@ def _parse_disable_comment(comment: str) -> Tuple[Optional[str], Set[str]]:
     body = body[len(DISABLE_PREFIX):].strip()
     for kind, prefix in (("file", "disable-file="), ("line", "disable=")):
         if body.startswith(prefix):
-            codes = {
-                c.strip() for c in body[len(prefix):].split(",") if c.strip()
-            }
+            # Anything after " - " is a free-form rationale (encouraged
+            # for waivers: say *why* the finding does not apply here).
+            code_list = body[len(prefix):].split(" - ", 1)[0]
+            codes = {c.strip() for c in code_list.split(",") if c.strip()}
             return kind, codes
     return None, set()
 

@@ -331,11 +331,15 @@ class PhysicalChannel:
     # Fault state (mutated only by repro.faults.injector.FaultInjector)
     # ------------------------------------------------------------------
     def recompute_usable(self) -> None:
-        """Refresh ``usable_mask`` from ``fault_down`` / ``stuck_mask``."""
-        if self.fault_down:
-            self.usable_mask = 0
-        else:
-            self.usable_mask = ((1 << len(self.vcs)) - 1) & ~self.stuck_mask
+        """Refresh ``usable_mask`` from ``fault_down`` / ``stuck_mask``.
+
+        A widening recompute (a heal) can unblock parked waiters, but the
+        wake is deliberately not issued here: the only caller is
+        ``FaultInjector.apply``, which mutates many channels per event and
+        ends with one ``sim.wake_all_parked()`` covering them all.
+        """
+        mask = 0 if self.fault_down else (1 << len(self.vcs)) - 1
+        self.usable_mask = mask & ~self.stuck_mask  # repro-lint: disable=EFF002 - FaultInjector.apply wakes after the batch of recomputes
 
     def usable_free_lanes(self) -> Tuple[VirtualChannel, ...]:
         """Free lanes routing may actually allocate (fault-aware).

@@ -1,14 +1,14 @@
-"""Offending fixture: a botched attempt at the batch backend's waiver.
+"""Offending fixture: botched attempts at the batch backend's waiver.
 
-The file-wide disable names the wrong rule code, so the numpy imports in
-this kernel-scoped module still fire — an exemption is only as good as
-the exact code it names.
+A line waiver only covers its own line (the second import still fires),
+and an exemption is only as good as the exact code it names (the third
+import's waiver names the wrong rule).
 """
-# repro-lint: disable-file=DET003
 
-import numpy  # expect: DET004
+import numpy as np  # repro-lint: disable=DET004 - integer SoA only
 from numpy import int64  # expect: DET004
+import numpy.linalg  # repro-lint: disable=DET003 - wrong code  # expect: DET004
 
 
 def counters(k: int) -> object:
-    return numpy.zeros(k, dtype=int64)
+    return np.zeros(k, dtype=int64)

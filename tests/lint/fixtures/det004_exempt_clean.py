@@ -1,14 +1,14 @@
 """Clean fixture: the batch backend's scoped DET004 waiver, done right.
 
 Mirrors ``repro.network.batch``: a kernel-package module may import
-numpy only under an explicit file-wide disable that names DET004 and is
-paired with a digest-equivalence gate (see docs/performance.md).  The
-import is also optional, so numpy-less hosts keep working.
+numpy only under a *line-scoped* disable naming DET004, with a rationale
+after `` - `` (here, as in batch.py, the EFF003 shared-trajectory rule
+proves the use is integer-SoA-only).  The import is also optional, so
+numpy-less hosts keep working.
 """
-# repro-lint: disable-file=DET004
 
 try:
-    import numpy as np
+    import numpy as np  # repro-lint: disable=DET004 - integer SoA only; EFF003 enforces this
 except ImportError:
     np = None
 

@@ -1,0 +1,21 @@
+"""Clean: phase methods staying inside their declared contracts.
+
+Same shape as the offending fixture — including the indirect write
+through a helper — but every transitive write lands in a group the
+phase's contract allows (lifecycle for generation; worm/lifecycle for
+injection).
+"""
+
+
+class TidySimulator:
+    def _generation_phase(self, cycle):
+        for m in self.pending:
+            m.status = "active"
+            m.inject_cycle = cycle
+
+    def _injection_phase(self, cycle):
+        self._bump(self.head)
+
+    def _bump(self, m):
+        m.ever_injected = True
+        m.flits_at_source = 4

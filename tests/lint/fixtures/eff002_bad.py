@@ -1,0 +1,20 @@
+"""Offending: lane release without a reachable event-engine wake.
+
+This is the PR 2 drain-termination bug class in miniature: freeing a
+lane (``occupant = None``, OR-ing the free mask) can make a parked
+header routable, so the event engine must be told — and here no wake
+call is reachable from ``release``.  ``allocate`` writes the same
+attributes in the parking direction (AND-ing bits out, occupant set to
+a message) and correctly carries no obligation.
+"""
+
+
+class Lane:
+    def release(self):
+        self.occupant = None  # expect: EFF002
+        self.free_mask |= 1 << self.index  # expect: EFF002
+        self.flits = 0
+
+    def allocate(self, message):
+        self.free_mask &= ~(1 << self.index)
+        self.occupant = message

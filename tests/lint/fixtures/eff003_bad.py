@@ -1,0 +1,20 @@
+"""Offending: a shared-trajectory observer leaking per-cell state.
+
+A batch observer rides one trajectory shared by every threshold cell;
+anything it writes to the shared network objects is visible to all
+cells, so only the G/P flag and the wake surface are allowed.  Bumping
+a message's detection counter or a channel's flit counter would make
+the shared run threshold-dependent.
+"""
+
+
+class CellObserver:
+    shares_trajectory = True
+
+    def on_event(self, message, cycle):
+        self._mask |= 1
+        message.gp = "G"
+        message.retries += 1  # expect: EFF003
+
+    def _spill(self, pc, cycle):
+        pc.last_flit_cycle = cycle  # expect: EFF003

@@ -1,0 +1,20 @@
+"""Clean: a shared-trajectory observer keeping cell state private.
+
+Per-cell results live in observer-local SoA state (masks, counter
+arrays) — invisible to the effect domain — and the only shared writes
+are the G/P flag and the wake surface that promotions must drive.
+"""
+
+
+class CellObserver:
+    shares_trajectory = True
+
+    def on_event(self, message, cycle):
+        self._mask |= 1
+        self._detections[3] += 1
+        message.gp = "G"
+
+    def _wake(self, pc):
+        for m in pc.header_waiters:
+            if m.route_asleep:
+                m.route_asleep = False

@@ -1,0 +1,18 @@
+"""Offending: float arithmetic flowing into behavioural fields.
+
+``rate`` is tainted by true division, and writing it (or a float
+literal) into channel counters makes the digest host-dependent.  The
+``ok`` method shows the untainted counterparts: floor division stays
+integral, and floats confined to telemetry attributes are invisible.
+"""
+
+
+class Throttle:
+    def tune(self, pc, window):
+        rate = self.hits / window
+        pc.i_threshold = rate * 4  # expect: EFF004
+        pc.counter_lag += 0.5  # expect: EFF004
+
+    def ok(self, pc, window):
+        pc.i_threshold = self.hits // window
+        self.ema = self.hits / window

@@ -1,0 +1,16 @@
+"""Clean: floats stay in telemetry; behavioural writes re-quantize.
+
+``int(...)`` is the sanctioned boundary (descent stops there), and a
+comparison result is a bool, so threshold tests over float telemetry
+may drive integral behavioural state.
+"""
+
+
+class Throttle:
+    def tune(self, pc, window):
+        share = self.hits / window
+        self.ema = 0.9 * self.ema + 0.1 * share
+        pc.i_threshold = int(share * 100)
+        pc.counter_lag += self.hits // window
+        flag = share > 2.0
+        pc.first_attempt_done = flag

@@ -1,0 +1,24 @@
+"""Offending: deadline/probe hooks breaking purity.
+
+``blocked_deadline`` results are cached by the event engine as lower
+bounds on the detection cycle; a hook that mutates state or draws
+randomness makes the cached value unsound (the re-computed deadline can
+move earlier).  ``probe_phase`` may mutate detector state, but drawing
+randomness there desynchronizes the three engines' trajectories.
+"""
+
+from repro.core.detector import DeadlockDetector
+
+
+class DriftingDetector(DeadlockDetector):
+    name = "drifting"
+    has_probe_phase = True
+
+    def blocked_deadline(self, sim, message, cycle):
+        self._cache[message.id] = cycle  # expect: PROTO003
+        jitter = sim.rng.random()  # expect: PROTO003
+        return cycle + int(jitter * 4)
+
+    def probe_phase(self, sim, cycle):
+        limit = self.rng.randrange(8)  # expect: PROTO003
+        return limit

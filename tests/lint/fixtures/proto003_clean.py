@@ -1,0 +1,27 @@
+"""Clean: a pure deadline hook and a deterministic probe phase.
+
+``blocked_deadline`` computes from channel counters only (locals are
+fine — no detector state is touched); ``probe_phase`` may mutate
+detector-private transport state as long as it stays clock- and
+RNG-free.
+"""
+
+from repro.core.detector import DeadlockDetector
+
+
+class SteadyDetector(DeadlockDetector):
+    name = "steady"
+    has_probe_phase = True
+
+    def blocked_deadline(self, sim, message, cycle):
+        worst = None
+        for pc in message.feasible_pcs:
+            deadline = pc.inactivity_deadline(self.threshold)
+            if deadline is not None and (worst is None or deadline > worst):
+                worst = deadline
+        return worst
+
+    def probe_phase(self, sim, cycle):
+        for session in self.sessions:
+            session.hops += 1
+        return None
