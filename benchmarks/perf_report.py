@@ -5,7 +5,10 @@ configuration, a 16x16 version of it, a wedged low-VC network, a
 flowing network with recovery, and a drain-dominated run — under both
 engines, timing each with a discarded warm-up run followed by three
 measured runs (the median is reported, which rejects one-off scheduler
-or allocator hiccups).  Engine work counters are recorded alongside the
+or allocator hiccups; regimes whose pair ratio sits within noise of
+1.0x automatically extend to five pairs, and the fastest sample rides
+along so the regression check cannot fire on noise alone).  Engine work
+counters are recorded alongside the
 timings; they are deterministic per configuration, so a counter change
 between two harness runs means the kernel's *work* changed, not just
 the machine's speed.
@@ -19,14 +22,18 @@ Two artifacts are written:
   committed history records how kernel performance moved over time.
   The newest committed entry doubles as the regression baseline.
 
-Two extra datapoints ride along: the probe-phase overhead (median plus
-its min..max noise band — the band's lower edge, not the median, is
-what gets compared against the 5 % budget, because the median routinely
-dips negative inside noise) and the ``batch-campaign`` number — the
-batch SoA backend (``repro.network.batch``) advancing a whole
+Three extra datapoints ride along: the probe-phase overhead (median
+plus its min..max noise band — the band's lower edge, not the median,
+is what gets compared against the 5 % budget, because the median
+routinely dips negative inside noise), the ``batch-campaign`` number —
+the batch SoA backend (``repro.network.batch``) advancing a whole
 detection-threshold ladder on one shared trajectory versus per-cell
 event runs, gated at ``BATCH_TARGET_SPEEDUP`` after an in-bench
-bit-identical digest check of every cell.
+bit-identical digest check of every cell — and the
+``batch-campaign-mixed`` number: the same backend folding a mixed
+mechanism x threshold grid (every shareable detector family at once,
+vectorized movement phase) versus per-cell event runs, gated at
+``MIXED_BATCH_TARGET_SPEEDUP`` under the same digest check.
 
 Regression check: when a baseline is available (``--baseline`` or the
 newest comparable entry already in ``BENCH_kernel.json``), each
@@ -82,12 +89,38 @@ BATCH_TARGET_SPEEDUP_FULL = 10.0
 BATCH_THRESHOLDS = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 BATCH_THRESHOLDS_QUICK = (2, 4, 8, 16, 32, 64, 128, 256)
 
+#: Acceptance bar for the cross-detector campaign grid: one shared
+#: trajectory serving a mixed mechanism x threshold grid must beat the
+#: per-cell event runs by at least this factor (quick and full).
+MIXED_BATCH_TARGET_SPEEDUP = 8.0
+
+#: The mixed campaign grid: every batch-shareable mechanism family over
+#: its natural slice of the threshold axis — the shape of a full
+#: detector-comparison campaign (paper Tables 2-7 sweep mechanisms as
+#: well as thresholds).  40 cells, one shared trajectory.
+MIXED_GRID: Tuple[Tuple[str, int], ...] = tuple(
+    [("ndm", t) for t in BATCH_THRESHOLDS]
+    + [("pdm", t) for t in BATCH_THRESHOLDS]
+    + [("timeout", t) for t in BATCH_THRESHOLDS]
+    + [("source-age", t) for t in (256, 512, 1024, 2048)]
+    + [("injection-stall", t) for t in (128, 256, 512, 1024)]
+    + [("probe", t) for t in (32, 128)]
+)
+
 #: Baseline-comparison tolerance: warn when a regime/engine pair runs
 #: more than this much slower than the recorded baseline.
 REGRESSION_TOLERANCE = 0.10
 
 #: Timed runs per configuration (after one discarded warm-up run).
 TIMED_RUNS = 3
+
+#: Regimes whose median pair ratio lands under this are inside noise of
+#: 1.0x (flowing traffic: parking wins almost nothing by design); they
+#: get extra timed pairs so the median has noise to reject.
+NEAR_UNITY_RATIO = 1.1
+
+#: Total pairs for near-unity regimes (median of 5 instead of 3).
+NEAR_UNITY_PAIRS = 5
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -228,6 +261,13 @@ def _summarize(engine: str, samples: List[Dict[str, Any]]) -> Dict[str, Any]:
         "seconds": round(median["seconds"], 4),
         "seconds_all": [round(s["seconds"], 4) for s in samples],
         "cycles_per_second": round(median["cycles"] / median["seconds"], 1),
+        # The fastest sample: the least-interfered-with measurement.  A
+        # real regression slows every sample; noise only slows some, so
+        # the baseline check demands both median *and* best be below
+        # the band before it calls a regression.
+        "cycles_per_second_best": round(
+            median["cycles"] / ordered[0]["seconds"], 1
+        ),
         "engine_counters": median["engine_counters"],
         "delivered": median["delivered"],
         "detections": median["detections"],
@@ -253,18 +293,31 @@ def benchmark_config(spec: Dict[str, Any], quick: bool) -> Dict[str, Any]:
     for _ in range(TIMED_RUNS):
         for engine in ("scan", "event"):
             samples[engine].append(_timed_run(configs[engine]))
-    runs = {
-        engine: _summarize(engine, samples[engine])
-        for engine in ("scan", "event")
-    }
+
+    def pair_ratios() -> List[float]:
+        return sorted(
+            s["seconds"] / e["seconds"]
+            for s, e in zip(samples["scan"], samples["event"])
+        )
+
     # Speedup from per-pair ratios, not from the two medians: each
     # scan/event pair ran back to back under (nearly) the same machine
     # conditions, so the ratio within a pair is drift-free, and the
     # median across pairs rejects a pair hit by a one-off stall.
-    ratios = sorted(
-        s["seconds"] / e["seconds"]
-        for s, e in zip(samples["scan"], samples["event"])
-    )
+    ratios = pair_ratios()
+    if ratios[len(ratios) // 2] < NEAR_UNITY_RATIO:
+        # Near 1.0x the signal *is* the noise floor (the flowing regime
+        # structurally parks almost nothing): take extra pairs so a
+        # single scheduler hiccup cannot drag the median under 1.0 and
+        # trip the baseline check.
+        for _ in range(NEAR_UNITY_PAIRS - TIMED_RUNS):
+            for engine in ("scan", "event"):
+                samples[engine].append(_timed_run(configs[engine]))
+        ratios = pair_ratios()
+    runs = {
+        engine: _summarize(engine, samples[engine])
+        for engine in ("scan", "event")
+    }
     speedup = ratios[len(ratios) // 2]
     return {
         "config": spec,
@@ -391,6 +444,69 @@ def benchmark_batch_campaign(quick: bool) -> Optional[Dict[str, Any]]:
     }
 
 
+def benchmark_mixed_campaign(quick: bool) -> Optional[Dict[str, Any]]:
+    """Cross-detector trajectory sharing on the mixed campaign grid.
+
+    The same saturated regime, swept over :data:`MIXED_GRID` — every
+    batch-shareable mechanism family times its threshold slice.  The
+    event baseline runs one simulation per cell; the batch backend
+    folds all 40 cells onto *one* shared trajectory (with the
+    vectorized movement phase when numpy is present, which it is here).
+    As with the threshold-only benchmark, every folded cell is asserted
+    bit-identical to its event run before the ratio is reported.
+    Returns ``None`` when numpy is unavailable.
+    """
+    import dataclasses
+
+    from repro.network.batch import HAVE_NUMPY, run_batch_cells
+    from repro.network.config import DetectorConfig
+
+    if not HAVE_NUMPY:
+        return None
+    spec = dict(CONFIGS["saturated-ndm-8x8"])
+    cells = [
+        DetectorConfig(mechanism=mechanism, threshold=threshold)
+        for mechanism, threshold in MIXED_GRID
+    ]
+    cell_configs = []
+    for cell in cells:
+        config = build_config(spec, "event", quick)
+        config.detector = dataclasses.replace(cell)
+        cell_configs.append(config)
+    # Warm-up (caches, allocator), discarded.
+    Simulator(cell_configs[len(cell_configs) // 2]).run()
+
+    start = time.perf_counter()
+    event_stats = [Simulator(config).run() for config in cell_configs]
+    event_seconds = time.perf_counter() - start
+
+    batch_config = build_config(spec, "batch", quick)
+    start = time.perf_counter()
+    batch_stats = run_batch_cells(batch_config, cells)
+    batch_seconds = time.perf_counter() - start
+
+    for cell, event_run, batch_run in zip(cells, event_stats, batch_stats):
+        if event_run.to_dict(include_perf=False) != batch_run.to_dict(
+            include_perf=False
+        ):
+            raise AssertionError(
+                f"mixed batch cell {cell.mechanism}:{cell.threshold} "
+                "diverged from its event run; the batch backend must be "
+                "bit-identical (digest gate)"
+            )
+    return {
+        "config": spec,
+        "grid": [list(entry) for entry in MIXED_GRID],
+        "cells": len(cells),
+        "mechanisms": sorted({mechanism for mechanism, _ in MIXED_GRID}),
+        "event_seconds": round(event_seconds, 4),
+        "batch_seconds": round(batch_seconds, 4),
+        "speedup": round(event_seconds / batch_seconds, 3),
+        "digest_match": True,
+        "target": MIXED_BATCH_TARGET_SPEEDUP,
+    }
+
+
 def headline_numbers(report: Dict[str, Any]) -> Dict[str, Any]:
     """The per-regime numbers recorded in the trajectory file."""
     out: Dict[str, Any] = {}
@@ -398,6 +514,8 @@ def headline_numbers(report: Dict[str, Any]) -> Dict[str, Any]:
         out[name] = {
             "scan": result["runs"]["scan"]["cycles_per_second"],
             "event": result["runs"]["event"]["cycles_per_second"],
+            "scan_best": result["runs"]["scan"]["cycles_per_second_best"],
+            "event_best": result["runs"]["event"]["cycles_per_second_best"],
             "speedup": result["speedup"],
         }
     return out
@@ -452,29 +570,35 @@ def compare_to_baseline(
         if not base:
             continue
         for engine in ("scan", "event"):
-            # .get on both sides: the batch-campaign entry has neither
-            # key, and hand-edited trajectory files may drop one.
+            # .get on both sides: the batch-campaign entries have
+            # neither key, and hand-edited trajectory files may drop one.
             now = numbers.get(engine)
             then = base.get(engine)
             if not now or not then:
                 continue
-            if now < then * (1.0 - REGRESSION_TOLERANCE):
+            # A real regression slows every sample; noise only slows
+            # some.  Demand the *best* sample also miss the band before
+            # warning (falls back to the median for pre-best baselines
+            # and hand-edited entries).
+            best = numbers.get(f"{engine}_best") or now
+            if now < then * (1.0 - REGRESSION_TOLERANCE) and best < then * (
+                1.0 - REGRESSION_TOLERANCE
+            ):
                 warnings.append(
-                    f"{name}/{engine}: {now:.1f} cycles/s is "
-                    f"{(1 - now / then) * 100:.1f}% below baseline "
-                    f"{then:.1f}"
+                    f"{name}/{engine}: {now:.1f} cycles/s (best "
+                    f"{best:.1f}) is {(1 - now / then) * 100:.1f}% below "
+                    f"baseline {then:.1f}"
                 )
-    now_batch = headline.get("batch-campaign", {})
-    then_batch = base_numbers.get("batch-campaign", {})
-    now_speedup = now_batch.get("speedup")
-    then_speedup = then_batch.get("speedup")
-    if now_speedup and then_speedup:
-        if now_speedup < then_speedup * (1.0 - REGRESSION_TOLERANCE):
-            warnings.append(
-                f"batch-campaign: {now_speedup}x speedup is "
-                f"{(1 - now_speedup / then_speedup) * 100:.1f}% below "
-                f"baseline {then_speedup}x"
-            )
+    for key in ("batch-campaign", "batch-campaign-mixed"):
+        now_speedup = headline.get(key, {}).get("speedup")
+        then_speedup = base_numbers.get(key, {}).get("speedup")
+        if now_speedup and then_speedup:
+            if now_speedup < then_speedup * (1.0 - REGRESSION_TOLERANCE):
+                warnings.append(
+                    f"{key}: {now_speedup}x speedup is "
+                    f"{(1 - now_speedup / then_speedup) * 100:.1f}% below "
+                    f"baseline {then_speedup}x"
+                )
     return warnings
 
 
@@ -560,6 +684,20 @@ def main(argv: List[str]) -> int:
             f"{batch_campaign['speedup']}x (cell digests identical)"
         )
 
+    print("benchmarking mixed campaign grid (cross-detector sharing) ...")
+    mixed_campaign = benchmark_mixed_campaign(args.quick)
+    report["mixed_campaign"] = mixed_campaign
+    if mixed_campaign is None:
+        print("  numpy unavailable; mixed campaign benchmark skipped")
+    else:
+        print(
+            f"  {mixed_campaign['cells']} cells over "
+            f"{len(mixed_campaign['mechanisms'])} mechanisms: event "
+            f"{mixed_campaign['event_seconds']}s vs batch "
+            f"{mixed_campaign['batch_seconds']}s -> "
+            f"{mixed_campaign['speedup']}x (cell digests identical)"
+        )
+
     path = out_dir / "BENCH_engines.json"
     path.write_text(json.dumps(report, indent=2, sort_keys=True))
     print(f"wrote {path}")
@@ -573,6 +711,14 @@ def main(argv: List[str]) -> int:
             "event_seconds": batch_campaign["event_seconds"],
             "batch_seconds": batch_campaign["batch_seconds"],
             "speedup": batch_campaign["speedup"],
+        }
+    if mixed_campaign is not None:
+        headline["batch-campaign-mixed"] = {
+            "cells": mixed_campaign["cells"],
+            "mechanisms": len(mixed_campaign["mechanisms"]),
+            "event_seconds": mixed_campaign["event_seconds"],
+            "batch_seconds": mixed_campaign["batch_seconds"],
+            "speedup": mixed_campaign["speedup"],
         }
     trajectory_path = REPO_ROOT / "BENCH_kernel.json"
     baseline_path = args.baseline or trajectory_path
@@ -657,6 +803,17 @@ def main(argv: List[str]) -> int:
                 "(non-gating; see EXPERIMENTS.md)",
                 file=sys.stderr,
             )
+    if (
+        mixed_campaign is not None
+        and mixed_campaign["speedup"] < MIXED_BATCH_TARGET_SPEEDUP
+    ):
+        print(
+            f"WARNING: mixed campaign speedup "
+            f"{mixed_campaign['speedup']}x below the "
+            f"{MIXED_BATCH_TARGET_SPEEDUP}x gate",
+            file=sys.stderr,
+        )
+        failed = True
     if args.strict and warnings:
         failed = True
     return 1 if failed else 0

@@ -11,10 +11,13 @@ through three layers, cheapest first:
 3. **run** — a live simulation, either in-process (``num_workers=1``,
    the deterministic serial fallback used by tests) or fanned out over a
    ``ProcessPoolExecutor``.  Cache-miss cells whose configs ask for
-   ``engine="batch"`` and are equal modulo the detection threshold are
-   grouped into one shared-trajectory run each (see
-   ``repro.network.batch``) — the results stay bit-identical to
-   per-cell runs while the grid costs one simulation per group.
+   ``engine="batch"`` and are equal modulo their detector cell —
+   mechanism, threshold, probe caps — are grouped into one
+   shared-trajectory run each (see ``repro.network.batch``) — the
+   results stay bit-identical to per-cell runs while the grid costs one
+   simulation per group.  Grouping is a pure optimization: fold results
+   do not depend on the partition, so ``--resume`` re-grouping after a
+   partial run reproduces the same per-cell records byte for byte.
 
 Cells run out of order under the pool, but results are keyed, so callers
 reassemble tables in canonical order and the output is bit-identical to
@@ -30,7 +33,7 @@ import os
 import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.campaign.cache import ResultCache
@@ -39,7 +42,7 @@ from repro.campaign.jobs import CellJob, cell_from_dict, cell_to_dict
 from repro.experiments.runner import CellResult, cell_from_stats
 from repro.metrics.stats import SimulationStats
 from repro.network import batch as batch_backend
-from repro.network.config import SimulationConfig
+from repro.network.config import DetectorConfig, SimulationConfig
 from repro.network.simulator import Simulator
 
 ProgressFn = Callable[[int, int], None]
@@ -81,14 +84,22 @@ def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def _execute_batch_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point for one batch group (many thresholds, one run).
+    """Worker entry point for one batch group (many cells, one run).
 
-    The cells share a single trajectory (see ``repro.network.batch``);
-    the returned stats list aligns with ``payload["keys"]``.
+    The cells — mixed mechanisms and thresholds — share a single
+    trajectory (see ``repro.network.batch``); the returned stats list
+    aligns with ``payload["keys"]``.  Legacy payloads carrying only
+    ``thresholds`` (pre-mixed-group checkpoints) are still accepted.
     """
     start = time.perf_counter()
     config = SimulationConfig.from_dict(payload["config"])
-    stats_list = batch_backend.run_batch(config, payload["thresholds"])
+    if "detectors" in payload:
+        cells = [
+            DetectorConfig(**cell) for cell in payload["detectors"]
+        ]
+        stats_list = batch_backend.run_batch_cells(config, cells)
+    else:
+        stats_list = batch_backend.run_batch(config, payload["thresholds"])
     return {
         "keys": payload["keys"],
         "stats": [s.to_dict(include_events=False) for s in stats_list],
@@ -101,8 +112,11 @@ def _batch_payload(jobs: Sequence[CellJob]) -> Dict[str, Any]:
     """Pickle-light dict form of one batch group."""
     return {
         "keys": [job.key for job in jobs],
-        "thresholds": [job.config.detector.threshold for job in jobs],
-        # Any member's config works: the group is equal modulo threshold.
+        # Full per-cell detector configs: groups fold across mechanisms
+        # and probe caps, not just thresholds.
+        "detectors": [asdict(job.config.detector) for job in jobs],
+        # Any member's config works: the group is equal modulo its
+        # detector cell (batch_group_key masks exactly those fields).
         "config": jobs[0].config.to_dict(),
     }
 

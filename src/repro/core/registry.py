@@ -18,6 +18,22 @@ from repro.core.timeout import (
 )
 from repro.network.config import DetectorConfig
 
+#: Mechanism name -> implementing class, in registry (report) order.
+_DETECTOR_CLASSES = {
+    cls.name: cls
+    for cls in (
+        NewDetectionMechanism,
+        PreciseNDM,
+        HybridDetection,
+        PreviousDetectionMechanism,
+        ProbeDetection,
+        HeaderBlockedTimeout,
+        SourceAgeTimeout,
+        InjectionStallTimeout,
+        NoDetection,
+    )
+}
+
 
 def make_detector(config: DetectorConfig) -> DeadlockDetector:
     """Instantiate the mechanism named by ``config.mechanism``."""
@@ -58,33 +74,33 @@ def make_detector(config: DetectorConfig) -> DeadlockDetector:
 
 
 def batch_shareable(config: DetectorConfig) -> bool:
-    """True when cells differing only in ``threshold`` may share one run.
+    """True when this detector cell may fold onto a shared batch run.
 
-    The batch backend folds many threshold cells onto a single network
-    trajectory, which is sound only when detection has *zero* feedback
-    into the network: NDM with the paper's simple promotion rule never
-    touches routing state from its hooks, whereas the selective variant
-    keeps per-threshold waiter maps and the other mechanisms carry
-    per-attempt or probe state of their own.  The campaign executor
-    additionally requires ``recovery == "none"`` and a fault-free
-    schedule before grouping (see ``repro.network.batch.plan_batches``).
+    The batch backend folds many campaign cells — differing in threshold
+    *and* in detection mechanism — onto a single network trajectory,
+    which is sound only when detection has *zero* feedback into the
+    network.  Each mechanism class declares the observer property via its
+    ``batch_shareable`` attribute; the one config-level carve-out is
+    NDM's selective promotion, whose per-run waiter maps diverge once any
+    cell marks.  The campaign executor additionally requires
+    ``recovery == "none"`` and a fault-free schedule before grouping (see
+    ``repro.network.batch.plan_batches``).
     """
-    return (
-        config.mechanism == NewDetectionMechanism.name
-        and not config.selective_promotion
+    cls = _DETECTOR_CLASSES.get(config.mechanism)
+    if cls is None or not cls.batch_shareable:
+        return False
+    if config.mechanism == NewDetectionMechanism.name and config.selective_promotion:
+        return False
+    return True
+
+
+def batch_shareable_names() -> Tuple[str, ...]:
+    """Mechanism names whose cells the batch backend may fold."""
+    return tuple(
+        name for name, cls in _DETECTOR_CLASSES.items() if cls.batch_shareable
     )
 
 
 def detector_names() -> Tuple[str, ...]:
     """Mechanism names accepted by :func:`make_detector`."""
-    return (
-        NewDetectionMechanism.name,
-        PreciseNDM.name,
-        HybridDetection.name,
-        PreviousDetectionMechanism.name,
-        ProbeDetection.name,
-        HeaderBlockedTimeout.name,
-        SourceAgeTimeout.name,
-        InjectionStallTimeout.name,
-        NoDetection.name,
-    )
+    return tuple(_DETECTOR_CLASSES)

@@ -141,7 +141,8 @@ WAKE_WRITE_ATTRS: FrozenSet[str] = frozenset({"route_asleep", "move_asleep"})
 #: plus the wake surface that promotions must drive.
 SHARED_TRAJECTORY_ALLOWED: FrozenSet[str] = _groups("gp", "park")
 
-#: Marker class attribute anchoring EFF003 (set on BatchNDMObserver).
+#: Marker class attribute anchoring EFF003 (set on BatchObserver and
+#: its per-cell probe units).
 SHARES_TRAJECTORY_ATTR = "shares_trajectory"
 
 

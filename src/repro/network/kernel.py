@@ -219,7 +219,9 @@ class ScanKernel(CycleKernel):
         if sim._probe_phase_on:
             sim._probes_phase(cycle)
         sim._routing_phase(cycle)
-        sim._movement_phase(cycle)
+        # Dispatched through the seam: the batch backend may have swapped
+        # in the vectorized SoA movement phase (repro.network.vecmove).
+        sim._movement_impl(cycle)
         sim._injection_phase(cycle)
         if sim.generation_enabled:
             sim._generation_phase(cycle)
@@ -233,7 +235,7 @@ class ScanKernel(CycleKernel):
         t1b = perf_counter()
         sim._routing_phase(cycle)
         t2 = perf_counter()
-        sim._movement_phase(cycle)
+        sim._movement_impl(cycle)
         t3 = perf_counter()
         sim._injection_phase(cycle)
         t4 = perf_counter()

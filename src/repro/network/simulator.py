@@ -179,6 +179,17 @@ class Simulator:
         #: Count of currently move-parked worms (simulator-internal: the
         #: only wake sites are routing grants and worm teardown).
         self._move_parked = 0
+        #: Movement-phase dispatch.  The kernel advances through this
+        #: seam so the batch backend can swap in the vectorized SoA
+        #: implementation (repro.network.vecmove) for shared runs; every
+        #: other engine keeps the scalar phase below.  Digest-exactness
+        #: of any replacement is part of the batch contract.
+        self._movement_impl: Callable[[int], None] = self._movement_phase
+        #: Write-through for the vectorized phase's asleep mirror: called
+        #: with the message id at every move-wake site (routing grant,
+        #: worm teardown, fault wake) so the numpy bool array never goes
+        #: stale relative to ``move_asleep``.
+        self._move_wake_hook: Optional[Callable[[int], None]] = None
         # Work counters (flushed to stats.engine_counters by run()).
         self._n_route_attempts = 0
         self._n_route_skips = 0
@@ -518,6 +529,8 @@ class Simulator:
             if m.move_asleep:
                 m.move_asleep = False
                 moves += 1
+                if self._move_wake_hook is not None:
+                    self._move_wake_hook(m.id)
         self._move_parked -= moves
 
     def _unregister_parked(self, m: Message) -> None:
@@ -599,6 +612,8 @@ class Simulator:
                 self._unregister_parked(m)
             if m.move_asleep:
                 self._move_parked -= 1
+                if self._move_wake_hook is not None:
+                    self._move_wake_hook(m.id)
             m.reset_routing_state()
             if self.tracer is not None:
                 self.tracer.record(("route", cycle, m.id, node, vc.pc.index))
@@ -1024,6 +1039,8 @@ class Simulator:
         if m.move_asleep:
             m.move_asleep = False
             self._move_parked -= 1
+            if self._move_wake_hook is not None:
+                self._move_wake_hook(m.id)
         vcs = list(m.spans)
         if m.allocated_vc is not None:
             vcs.append(m.allocated_vc)

@@ -1,0 +1,195 @@
+"""Vectorized SoA movement phase for the batch backend.
+
+The movement phase dominates shared batch runs (roughly half the wall
+time at saturation): every cycle it walks the full active list even
+though, deep in congestion, most worms are structurally frozen
+(``move_asleep``) and the scalar loop's work is almost entirely the
+per-worm skip test.  This module keeps an id-indexed numpy ``bool``
+mirror of the ``move_asleep`` flags plus an ``int64`` array of message
+ids aligned with the active list, so the per-cycle visit set is one
+fancy-index plus ``flatnonzero`` instead of ``n`` Python iterations.
+The worms that *do* move still advance through the scalar
+``Simulator._advance_message`` — bit-exactness with the reference
+engines is the contract, and the win is skipping the frozen majority,
+not vectorizing flit arithmetic.
+
+Soundness of the mirror (why it cannot go stale):
+
+* ``move_asleep`` is **set** only by the movement phase itself — which,
+  once installed, is this class — so every set is mirrored locally;
+* it is **cleared** only at the simulator's move-wake sites (routing
+  grant, worm teardown, fault wake), all of which call
+  ``sim._move_wake_hook`` — wired to :meth:`VectorizedMovement._wake` —
+  before or as they clear the flag;
+* installation is restricted to the batch backend (``recovery="none"``,
+  no fault schedule), where every active-list entry is ``IN_NETWORK``
+  at phase entry: worms leave the network only by delivering *inside*
+  this phase, so the scalar loop's defensive status screen cannot fire
+  for undelivered items and the mirror needs no "gone" bookkeeping.
+
+The phase replays the scalar implementation exactly: fold the tail into
+the conceptual rotation, compute the same ``rot + cycle % n`` start,
+take the all-parked O(1) fast path, visit awake worms in identical
+rotated order, park newly frozen worms, drop delivered ones, and adopt
+the rotated order with ``rot = 0``.  The equivalence corpus asserts the
+behavioural digests are bit-identical with the scalar path
+(``tests/network/test_batch_engine.py``).
+
+DET004 (no numpy under the kernel packages) is waived only on the
+import line: the arrays here are integer/bool bookkeeping over message
+ids — no float ever enters the trajectory — and the digest gate above
+is the enforcement.  Without numpy the module degrades to
+``install_vectorized_movement`` returning False and the scalar phase
+keeps running, which is the supported fallback everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+try:
+    import numpy as np  # repro-lint: disable=DET004 - integer/bool id mirrors only; digest-gated vs the scalar phase
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # type: ignore[assignment]
+
+from repro.network.types import MessageStatus
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.network.simulator import Simulator
+
+#: Whether the vectorized movement phase is available on this host.
+HAVE_VECMOVE = np is not None
+
+_MIN_CAPACITY = 1024
+
+
+def install_vectorized_movement(sim: "Simulator") -> bool:
+    """Swap ``sim``'s movement phase for the vectorized one.
+
+    Returns False (leaving the scalar phase installed) when numpy is
+    unavailable.  Intended for batch-backend simulators only — see the
+    module docstring for the invariants the caller must guarantee.
+    """
+    if np is None:
+        return False
+    VectorizedMovement(sim)
+    return True
+
+
+class VectorizedMovement:
+    """Id-mirrored movement phase; self-installs on construction."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        if np is None:  # pragma: no cover - callers gate on HAVE_VECMOVE
+            raise RuntimeError("the vectorized movement phase requires numpy")
+        self.sim = sim
+        self._asleep = np.zeros(_MIN_CAPACITY, dtype=bool)
+        #: Message ids aligned element-for-element with the *stored*
+        #: order of ``sim.active_messages.items`` (the rotation cursor
+        #: applies to both identically).
+        self._ids = np.empty(0, dtype=np.int64)
+        # Adopt any pre-existing active list (normally empty: the batch
+        # backend installs before run()).
+        alist = sim.active_messages
+        if alist.items or alist.tail:
+            alist.fold()
+            self._ids = np.fromiter(
+                (m.id for m in alist.items), dtype=np.int64, count=len(alist.items)
+            )
+            if len(self._ids):
+                self._ensure(int(self._ids.max()) + 1)
+            for m in alist.items:
+                if m.move_asleep:
+                    self._asleep[m.id] = True
+        sim._movement_impl = self._movement_phase
+        sim._move_wake_hook = self._wake
+
+    # ------------------------------------------------------------------
+    def _wake(self, message_id: int) -> None:
+        """Move-wake write-through (routing grant / teardown / faults)."""
+        if message_id < len(self._asleep):
+            self._asleep[message_id] = False
+        # An id beyond capacity was never marked asleep: nothing to do.
+
+    def _ensure(self, capacity: int) -> None:
+        current = len(self._asleep)
+        if capacity <= current:
+            return
+        grown = np.zeros(max(capacity, current * 2), dtype=bool)
+        grown[:current] = self._asleep
+        self._asleep = grown
+
+    # ------------------------------------------------------------------
+    # Named after the scalar phase so the effect analyzer (EFF001) holds
+    # this implementation to the same movement-phase write contract.
+    def _movement_phase(self, cycle: int) -> None:
+        sim = self.sim
+        alist = sim.active_messages
+        ids = self._ids
+        if alist.tail:
+            # Messages injected last cycle: splice at the conceptual end,
+            # keeping the id mirror in lockstep with fold()'s reordering.
+            tail = alist.tail
+            tail_ids = np.fromiter(
+                (m.id for m in tail), dtype=np.int64, count=len(tail)
+            )
+            self._ensure(int(tail_ids.max()) + 1)
+            rot = alist.rot
+            if rot:
+                ids = np.concatenate((ids[rot:], ids[:rot], tail_ids))
+            else:
+                ids = np.concatenate((ids, tail_ids))
+            self._ids = ids
+            alist.fold()
+        items = alist.items
+        n = len(items)
+        if not n:
+            return
+        start = alist.rot + cycle % n
+        if start >= n:
+            start -= n
+        if sim._move_parked == n:
+            # Every worm frozen: advance the rotation cursor like the
+            # scalar fast path (the mirror tracks stored order, which is
+            # untouched).
+            alist.rot = start
+            sim._n_move_skips += n
+            return
+        if start:
+            order = items[start:]
+            order += items[:start]
+            order_ids = np.concatenate((ids[start:], ids[:start]))
+        else:
+            order = items
+            order_ids = ids
+        visit = np.flatnonzero(~self._asleep[order_ids])
+        asleep = self._asleep
+        advance = sim._advance_message
+        park = sim._park_enabled
+        in_network = MessageStatus.IN_NETWORK
+        keep = None
+        for pos in visit.tolist():
+            m = order[pos]
+            frozen = advance(m, cycle)
+            if m.status is in_network:
+                if park and frozen and m.spans:
+                    m.move_asleep = True
+                    asleep[m.id] = True
+                    sim._move_parked += 1
+                    sim._n_move_parks += 1
+            else:
+                m.in_active = False
+                if keep is None:
+                    keep = np.ones(n, dtype=bool)
+                keep[pos] = False
+        n_visits = len(visit)
+        sim._n_move_visits += n_visits
+        sim._n_move_skips += n - n_visits
+        if keep is None:
+            alist.items = order
+            self._ids = order_ids
+        else:
+            kept = np.flatnonzero(keep)
+            alist.items = [order[i] for i in kept.tolist()]
+            self._ids = order_ids[kept]
+        alist.rot = 0

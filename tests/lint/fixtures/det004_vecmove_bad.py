@@ -1,0 +1,22 @@
+"""Offending: a vectorized movement module importing numpy unscoped.
+
+The vectorized movement phase lives in a kernel package, where DET004
+bans numpy outright unless the import line itself carries a scoped
+waiver with a rationale.  A bare import (even inside the optional
+try/except) and a ``from numpy import ...`` both fire; the digest-gated
+rationale belongs on the import line, not in the docstring.
+"""
+
+try:
+    import numpy as np  # expect: DET004
+except ImportError:
+    np = None
+
+from numpy import int64  # expect: DET004
+
+
+class VectorizedMovement:
+    def __init__(self, sim):
+        self.sim = sim
+        self._asleep = np.zeros(1024, dtype=bool)
+        self._ids = np.empty(0, dtype=int64)

@@ -1,0 +1,24 @@
+"""Clean: the vectorized movement module's scoped DET004 waiver.
+
+Mirrors ``repro.network.vecmove``: the numpy import is optional (the
+scalar phase stays the fallback on numpy-less hosts) and carries a
+line-scoped waiver naming DET004 with the digest-gated rationale — the
+arrays are integer/bool id mirrors only, and the batch equivalence
+suite asserts the vectorized phase bit-identical to the scalar one.
+"""
+
+try:
+    import numpy as np  # repro-lint: disable=DET004 - integer/bool id mirrors only; digest-gated vs the scalar phase
+except ImportError:
+    np = None
+
+HAVE_VECMOVE = np is not None
+
+
+class VectorizedMovement:
+    def __init__(self, sim):
+        if np is None:
+            raise RuntimeError("requires numpy")
+        self.sim = sim
+        self._asleep = np.zeros(1024, dtype=bool)
+        self._ids = np.empty(0, dtype=np.int64)

@@ -1,0 +1,20 @@
+"""Offending: a swapped-in movement phase exceeding the phase contract.
+
+Naming a method ``_movement_phase`` opts it into the movement-phase
+write contract (park/gp/occupancy/counters/worm/lifecycle) no matter
+which class hosts it — that is how the vectorized replacement stays
+held to the same rules as the simulator's scalar phase.  Marking a
+message detected or rewriting its routing bookkeeping is checks/routing
+territory and must fire even from a helper.
+"""
+
+
+class VectorizedMovement:
+    def _movement_phase(self, cycle):
+        for m in self.order:
+            m.move_asleep = True
+            m.marked_deadlocked = True  # expect: EFF001
+            self._reset(m, cycle)
+
+    def _reset(self, m, cycle):
+        m.blocked_since = cycle  # expect: EFF001

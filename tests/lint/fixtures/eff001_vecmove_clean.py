@@ -1,0 +1,23 @@
+"""Clean: a swapped-in movement phase inside the phase contract.
+
+Same shape as the offending fixture — a non-simulator class hosting
+``_movement_phase``, mirroring ``repro.network.vecmove`` — but every
+domain write lands in a group the movement contract allows: the park
+flag when a worm freezes, lifecycle when one delivers.  The numpy id
+mirrors are private observer state, outside the effect domain.
+"""
+
+
+class VectorizedMovement:
+    def _movement_phase(self, cycle):
+        for m in self.order:
+            if self._frozen(m, cycle):
+                m.move_asleep = True
+            else:
+                self._drop(m)
+
+    def _frozen(self, m, cycle):
+        return not m.spans
+
+    def _drop(self, m):
+        m.in_active = False

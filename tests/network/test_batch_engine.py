@@ -21,17 +21,26 @@ import pytest
 
 np = pytest.importorskip("numpy")
 
+import dataclasses  # noqa: E402
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
 import repro.network.batch as batch_module  # noqa: E402
+from repro.core.registry import batch_shareable_names  # noqa: E402
 from repro.network.batch import (  # noqa: E402
+    BatchObserver,
     BatchSimulator,
     batch_eligible,
     batch_group_key,
+    detector_cell_key,
     plan_batches,
     run_batch,
+    run_batch_cells,
     soa_digest,
     soa_snapshot,
 )
-from repro.network.config import SimulationConfig  # noqa: E402
+from repro.network.config import DetectorConfig, SimulationConfig  # noqa: E402
 from repro.network.simulator import Simulator  # noqa: E402
 from tests.network.test_engine_equivalence import CASES, _config  # noqa: E402
 
@@ -136,9 +145,9 @@ def test_engine_accepts_batch():
 # ----------------------------------------------------------------------
 
 def _eligible_config(threshold=16, **overrides):
-    config = _config(mechanism="ndm", threshold=threshold, recovery="none",
-                     **overrides)
-    return config.replace(engine="batch")
+    params = dict(mechanism="ndm", threshold=threshold, recovery="none")
+    params.update(overrides)
+    return _config(**params).replace(engine="batch")
 
 
 class TestEligibility:
@@ -146,10 +155,28 @@ class TestEligibility:
         assert batch_eligible(_eligible_config())
 
     @pytest.mark.parametrize(
+        "mechanism",
+        ["ndm", "pdm", "timeout", "source-age", "injection-stall", "probe"],
+    )
+    def test_every_pure_observer_mechanism_eligible(self, mechanism):
+        """Trajectory sharing now folds across mechanisms, not just
+        thresholds: every pure-observer detector is shareable."""
+        config = _config(
+            mechanism=mechanism, threshold=16, recovery="none"
+        ).replace(engine="batch")
+        assert batch_eligible(config)
+
+    def test_registry_names_pure_observers(self):
+        assert set(batch_shareable_names()) == {
+            "ndm", "pdm", "timeout", "source-age", "injection-stall", "probe"
+        }
+
+    @pytest.mark.parametrize(
         "overrides",
         [
-            dict(mechanism="timeout"),
-            dict(mechanism="pdm"),
+            dict(mechanism="hybrid"),
+            dict(mechanism="ndm-precise"),
+            dict(mechanism="none"),
             dict(selective_promotion=True),
             dict(recovery="progressive"),
         ],
@@ -161,17 +188,42 @@ class TestEligibility:
         )
         assert not batch_eligible(config)
 
+    def test_fault_schedules_ineligible(self):
+        config = _eligible_config()
+        config.faults = [dict(kind="link", cycle=10, node=0, port=0)]
+        assert not batch_eligible(config)
+
     def test_batch_simulator_rejects_ineligible(self):
         config = _config(mechanism="ndm", threshold=16,
                          recovery="progressive")
         with pytest.raises(ValueError, match="not batch-shareable"):
             BatchSimulator(config, [8, 16])
 
-    def test_group_key_ignores_threshold_only(self):
+    def test_group_key_ignores_the_detector_cell_only(self):
         a, b = _eligible_config(threshold=8), _eligible_config(threshold=32)
         assert batch_group_key(a) == batch_group_key(b)
         c = _eligible_config(threshold=8, seed=21)
         assert batch_group_key(a) != batch_group_key(c)
+        # Mechanism and the probe storm-guard caps are cell identity,
+        # masked out of the group key like the threshold.
+        for overrides in (
+            dict(mechanism="pdm"),
+            dict(mechanism="timeout"),
+            dict(mechanism="probe"),
+        ):
+            d = _eligible_config(threshold=8, **overrides)
+            assert batch_group_key(a) == batch_group_key(d)
+        e = _eligible_config(threshold=8, mechanism="probe")
+        e.detector.probe_max_hops = 8
+        assert batch_group_key(a) == batch_group_key(e)
+
+    def test_group_key_keeps_t1(self):
+        """t1 arms the shared G/P dynamics: cells disagreeing on it
+        must not fold onto one trajectory."""
+        a = _eligible_config(threshold=8)
+        b = _eligible_config(threshold=8)
+        b.detector.t1 = a.detector.t1 + 1
+        assert batch_group_key(a) != batch_group_key(b)
 
 
 class TestPlanBatches:
@@ -212,6 +264,260 @@ class TestPlanBatches:
         # 4, 4, 8 share two distinct values; 16 would open a third.
         assert groups == [[0, 1, 2]]
         assert singles == [3]
+
+
+# ----------------------------------------------------------------------
+# Cross-detector trajectory sharing
+# ----------------------------------------------------------------------
+
+def _cell(**kw) -> DetectorConfig:
+    base = dict(mechanism="ndm", threshold=16, t1=1)
+    base.update(kw)
+    return DetectorConfig(**base)
+
+
+#: A deadlocking regime that is still cheap: 16 nodes, single lane,
+#: beyond saturation (every mechanism family detects here).
+def _mixed_config(**overrides) -> SimulationConfig:
+    params = dict(
+        mechanism="ndm", threshold=16, recovery="none",
+        vcs_per_channel=1, injection_rate=0.8,
+    )
+    params.update(overrides)
+    return _config(**params)
+
+
+#: One group spanning every shareable family, two cells for the ladder
+#: families and distinct storm-guard caps for the probe pair.
+MIXED_CELLS = [
+    _cell(mechanism="ndm", threshold=8),
+    _cell(mechanism="ndm", threshold=16),
+    _cell(mechanism="pdm", threshold=8),
+    _cell(mechanism="pdm", threshold=24),
+    _cell(mechanism="timeout", threshold=24),
+    _cell(mechanism="timeout", threshold=64),
+    _cell(mechanism="source-age", threshold=50),
+    _cell(mechanism="injection-stall", threshold=40),
+    _cell(mechanism="probe", threshold=16),
+    _cell(mechanism="probe", threshold=16, probe_max_hops=8),
+]
+
+
+def _event_reference(config: SimulationConfig, cell: DetectorConfig):
+    ref = config.replace(engine="event")
+    ref.detector = dataclasses.replace(cell)
+    return Simulator(ref).run()
+
+
+class TestMixedGroups:
+    @pytest.mark.parametrize("vectorize", [True, False])
+    def test_mixed_cells_bit_identical(self, vectorize):
+        """The tentpole gate: one shared trajectory serving every
+        mechanism family reproduces each cell's event run byte for
+        byte — with both the vectorized and the scalar movement phase.
+        """
+        config = _mixed_config().replace(engine="batch")
+        bs = BatchSimulator(config, cells=MIXED_CELLS, vectorize=vectorize)
+        assert bs.vectorized == vectorize  # numpy is present here
+        batch = bs.run()
+        detections = 0
+        for cell, b in zip(MIXED_CELLS, batch):
+            e = _event_reference(config, cell)
+            assert b.to_dict(include_perf=False) == e.to_dict(
+                include_perf=False
+            ), f"{cell.mechanism}:{cell.threshold}"
+            detections += b.detections
+        # Regime sanity: the equality above must not be vacuous.
+        assert detections > 0
+
+    def test_run_batch_cells_aligns_with_input_order(self):
+        config = _mixed_config().replace(engine="batch")
+        cells = [
+            _cell(mechanism="timeout", threshold=24),
+            _cell(mechanism="ndm", threshold=8),
+            _cell(mechanism="timeout", threshold=24),  # duplicate
+        ]
+        batch = run_batch_cells(config, cells)
+        assert [b.to_dict(include_perf=False) for b in batch] == [
+            _event_reference(config, c).to_dict(include_perf=False)
+            for c in cells
+        ]
+        assert batch[0].to_dict() == batch[2].to_dict()
+
+    def test_probe_counters_fold_per_cell(self):
+        """Probe transports are per cell: each folded cell reports its
+        own launch/hop counters, and non-probe cells report zero."""
+        config = _mixed_config().replace(engine="batch")
+        cells = [
+            _cell(mechanism="probe", threshold=16),
+            _cell(mechanism="probe", threshold=16, probe_max_hops=8),
+            _cell(mechanism="ndm", threshold=8),
+        ]
+        batch = run_batch_cells(config, cells)
+        for cell, b in zip(cells, batch):
+            e = _event_reference(config, cell)
+            assert b.probe_launches == e.probe_launches
+            assert b.probe_hops == e.probe_hops
+        assert batch[0].probe_launches > 0
+        assert batch[2].probe_launches == 0
+
+    def test_detection_events_carry_cell_mechanism(self):
+        config = _mixed_config().replace(engine="batch")
+        cells = [
+            _cell(mechanism="timeout", threshold=24),
+            _cell(mechanism="pdm", threshold=8),
+        ]
+        for cell, b in zip(cells, run_batch_cells(config, cells)):
+            assert b.detection_events, cell.mechanism
+            assert {e.mechanism for e in b.detection_events} == {
+                cell.mechanism
+            }
+
+    def test_observer_rejects_unshareable_cells(self):
+        with pytest.raises(ValueError, match="not batch-shareable"):
+            BatchObserver([_cell(selective_promotion=True)])
+        with pytest.raises(ValueError, match="not batch-shareable"):
+            BatchObserver([_cell(mechanism="hybrid")])
+
+    def test_observer_rejects_mixed_t1(self):
+        with pytest.raises(ValueError, match="disagree on t1"):
+            BatchObserver([_cell(threshold=8, t1=1), _cell(threshold=16, t1=2)])
+
+    def test_selective_promotion_never_folded(self):
+        """The selective ndm variant mutates waiter registries on the
+        shared trajectory and is excluded at the registry level: the
+        planner keeps its cells single even among shareable siblings."""
+        selective = _eligible_config(threshold=8)
+        selective.detector.selective_promotion = True
+        assert not batch_eligible(selective)
+        configs = [
+            _eligible_config(threshold=8),
+            _eligible_config(threshold=16),
+            selective,
+        ]
+        groups, singles = plan_batches(configs)
+        assert groups == [[0, 1]]
+        assert singles == [2]
+
+
+class TestMixedPlanning:
+    def test_mechanisms_fold_into_one_group(self):
+        configs = [
+            _eligible_config(threshold=8),
+            _eligible_config(threshold=8, mechanism="pdm"),
+            _eligible_config(threshold=24, mechanism="timeout"),
+            _eligible_config(threshold=16, mechanism="probe"),
+        ]
+        groups, singles = plan_batches(configs)
+        assert groups == [[0, 1, 2, 3]]
+        assert singles == []
+
+    def test_chunking_counts_distinct_cells_across_mechanisms(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(batch_module, "MAX_CELLS", 2)
+        configs = [
+            _eligible_config(threshold=8),
+            _eligible_config(threshold=8, mechanism="pdm"),
+            _eligible_config(threshold=8, mechanism="pdm"),  # duplicate
+            _eligible_config(threshold=24, mechanism="timeout"),
+        ]
+        groups, singles = plan_batches(configs)
+        # ndm:8 + pdm:8 (x2) fill the first chunk; timeout:24 is left
+        # alone and falls back to a single.
+        assert groups == [[0, 1, 2]]
+        assert singles == [3]
+
+    def test_cell_key_separates_probe_caps(self):
+        a = _cell(mechanism="probe", threshold=16)
+        b = _cell(mechanism="probe", threshold=16, probe_max_hops=8)
+        c = _cell(mechanism="pdm", threshold=16)
+        assert detector_cell_key(a) != detector_cell_key(b)
+        assert detector_cell_key(a) != detector_cell_key(c)
+        assert detector_cell_key(a) == detector_cell_key(
+            dataclasses.replace(a)
+        )
+
+
+#: Hypothesis: any mixed bag of shareable cells folds bit-identically.
+_CELL_STRATEGY = st.fixed_dictionaries(
+    {
+        "mechanism": st.sampled_from(batch_shareable_names()),
+        "threshold": st.sampled_from([4, 8, 16, 24, 50]),
+        "probe_max_hops": st.sampled_from([8, 64]),
+    }
+)
+
+
+@given(
+    cells=st.lists(_CELL_STRATEGY, min_size=1, max_size=6),
+    seed=st.integers(min_value=0, max_value=2**10),
+    rate=st.sampled_from([0.4, 0.8]),
+)
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_mixed_groups_fold_bit_identical(cells, seed, rate):
+    config = _mixed_config(seed=seed, injection_rate=rate)
+    config.warmup_cycles = 50
+    config.measure_cycles = 250
+    batch_config = config.replace(engine="batch")
+    cell_configs = [_cell(**kw) for kw in cells]
+    batch = run_batch_cells(batch_config, cell_configs)
+    for cell, b in zip(cell_configs, batch):
+        e = _event_reference(config, cell)
+        assert b.to_dict(include_perf=False) == e.to_dict(include_perf=False)
+
+
+# ----------------------------------------------------------------------
+# Vectorized movement phase (repro.network.vecmove)
+# ----------------------------------------------------------------------
+
+class TestVectorizedMovement:
+    def test_installed_by_default_and_digest_identical(self):
+        config = _mixed_config().replace(engine="batch")
+        fast = BatchSimulator(config, [4, 8, 16])
+        slow = BatchSimulator(config, [4, 8, 16], vectorize=False)
+        assert fast.vectorized and not slow.vectorized
+        assert [s.to_dict(include_perf=False) for s in fast.run()] == [
+            s.to_dict(include_perf=False) for s in slow.run()
+        ]
+
+    def test_saturated_regime_digest_identical(self):
+        """Heavy parking exercises the all-parked fast path and the
+        keep-mask delivery compaction."""
+        config = _config(
+            radix=8, mechanism="ndm", threshold=16, injection_rate=1.0,
+            recovery="none", warmup_cycles=100, measure_cycles=300,
+        ).replace(engine="batch")
+        cells = [
+            _cell(mechanism="ndm", threshold=8),
+            _cell(mechanism="timeout", threshold=32),
+        ]
+        fast = BatchSimulator(config, cells=cells).run()
+        slow = BatchSimulator(config, cells=cells, vectorize=False).run()
+        assert [s.to_dict(include_perf=False) for s in fast] == [
+            s.to_dict(include_perf=False) for s in slow
+        ]
+
+    def test_install_helper_reports_availability(self):
+        from repro.network.vecmove import (
+            HAVE_VECMOVE,
+            install_vectorized_movement,
+        )
+
+        assert HAVE_VECMOVE  # numpy was importorskip'd above
+        config = _mixed_config().replace(engine="batch")
+        bs = BatchSimulator(config, [8], vectorize=False)
+        assert bs.sim._movement_impl.__func__ is type(
+            bs.sim
+        )._movement_phase
+        assert install_vectorized_movement(bs.sim)
+        assert bs.sim._movement_impl.__func__ is not type(
+            bs.sim
+        )._movement_phase
 
 
 # ----------------------------------------------------------------------
@@ -260,6 +566,58 @@ def test_batch_results_identical_across_hash_seeds():
     order, never in hash order: two interpreters with different hash
     randomization must produce byte-identical cells and snapshots."""
     assert _batch_digest_under_hashseed("0") == _batch_digest_under_hashseed(
+        "4242"
+    )
+
+
+def _mixed_digest_under_hashseed(hashseed: str) -> str:
+    """Mixed-mechanism per-cell stats digest in a fixed-hash subprocess."""
+    script = """
+import hashlib, json
+from repro.network.batch import run_batch_cells
+from repro.network.config import DetectorConfig
+from tests.network.test_engine_equivalence import _config
+
+config = _config(
+    mechanism="ndm", threshold=16, recovery="none",
+    vcs_per_channel=1, injection_rate=0.8,
+).replace(engine="batch")
+cells = [
+    DetectorConfig(mechanism="timeout", threshold=24),
+    DetectorConfig(mechanism="ndm", threshold=8),
+    DetectorConfig(mechanism="pdm", threshold=8),
+    DetectorConfig(mechanism="probe", threshold=16),
+    DetectorConfig(mechanism="source-age", threshold=50),
+    DetectorConfig(mechanism="injection-stall", threshold=40),
+]
+folded = run_batch_cells(config, cells)
+payload = [c.to_dict(include_events=False, include_perf=False) for c in folded]
+print(hashlib.sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest())
+"""
+    repo_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(
+            None,
+            [str(repo_root / "src"), str(repo_root), env.get("PYTHONPATH")],
+        )
+    )
+    env["PYTHONHASHSEED"] = hashseed
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+    )
+    return result.stdout.strip()
+
+
+def test_mixed_groups_identical_across_hash_seeds():
+    """The cross-mechanism fold adds dict-keyed state (pending masks,
+    probe units, family tables); the canonical cell order keeps every
+    reduction hash-independent."""
+    assert _mixed_digest_under_hashseed("0") == _mixed_digest_under_hashseed(
         "4242"
     )
 
