@@ -4,6 +4,7 @@ Subcommands are thin wrappers around the per-package CLIs::
 
     repro lint [paths...]        static analysis (repro.lint)
     repro faults conformance     detector conformance under faults (repro.faults)
+    repro verify run             exhaustive small-network verifier (repro.verify)
     repro experiments ...        table campaigns (repro.experiments)
 """
 
@@ -15,6 +16,7 @@ from typing import List, Optional
 
 from repro.faults.cli import build_parser as build_faults_parser
 from repro.lint.cli import build_parser as build_lint_parser
+from repro.verify.cli import build_parser as build_verify_parser
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,6 +37,13 @@ def build_parser() -> argparse.ArgumentParser:
             "faults",
             help="fault-injection conformance harness",
             description="Fault-injection conformance harness.",
+        )
+    )
+    build_verify_parser(
+        sub.add_parser(
+            "verify",
+            help="exhaustive state-space verifier for small networks",
+            description="Exhaustive state-space verifier for small networks.",
         )
     )
     sub.add_parser(

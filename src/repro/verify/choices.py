@@ -1,0 +1,117 @@
+"""Scripted nondeterminism: recorded choice points and their enumeration.
+
+The simulator has exactly two sources of nondeterminism once random
+traffic generation is disabled:
+
+* the **arbitration draw** — ``sim.rng.choice(free)`` when a routing
+  attempt finds more than one free allowed lane;
+* the **injection window** — each scripted message may be enqueued on
+  any cycle of its window (see :class:`repro.verify.scenario.MessageSpec`).
+
+Both are funnelled through one flat per-cycle *choice vector*: a list of
+small integers consumed left to right.  :class:`ChoiceLog` replays a
+scripted vector, padding with zeroes past its end, and records the domain
+size of every draw it served.  The recorded domains let the checker
+enumerate the full choice tree of a cycle with the classic stateless
+search loop: replay, then :func:`next_vector` — increment the last
+non-exhausted position and truncate — until the tree is exhausted.
+Domains discovered at position ``i`` depend only on the state and the
+choices before ``i``, so the walk visits every leaf exactly once.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class ChoiceError(RuntimeError):
+    """An unscripted RNG surface was consulted during verification."""
+
+
+class ChoiceLog:
+    """One cycle's scripted choices plus the domains actually served."""
+
+    __slots__ = ("script", "domains", "pos")
+
+    def __init__(self, script: Sequence[int] = ()) -> None:
+        self.script: List[int] = list(script)
+        self.domains: List[int] = []
+        self.pos = 0
+
+    def draw(self, domain: int) -> int:
+        """Serve one choice over ``range(domain)``; 0 past the script."""
+        if domain < 1:
+            raise ChoiceError("choice domain must be >= 1")
+        index = self.script[self.pos] if self.pos < len(self.script) else 0
+        if not 0 <= index < domain:
+            raise ChoiceError(
+                f"scripted choice {index} out of range for domain {domain} "
+                f"at position {self.pos}"
+            )
+        self.domains.append(domain)
+        self.pos += 1
+        return index
+
+    def vector(self) -> List[int]:
+        """The effective full-length vector this replay consumed."""
+        out = list(self.script[: len(self.domains)])
+        out.extend(0 for _ in range(len(self.domains) - len(out)))
+        return out
+
+
+class ScriptedRNG(random.Random):
+    """Drop-in for ``Simulator.rng`` that routes ``choice`` through a log.
+
+    Every other draw method raises: scripted runs must never consult an
+    unmodelled random surface (generation is off, so none should fire).
+    """
+
+    def __init__(self) -> None:
+        super().__init__(0)
+        self.log: Optional[ChoiceLog] = None
+
+    def _fail(self, surface: str) -> ChoiceError:
+        return ChoiceError(
+            f"unexpected RNG draw ({surface}) during verification; "
+            "the checker only models arbitration choice()"
+        )
+
+    def choice(self, seq: Sequence[T]) -> T:  # type: ignore[override]
+        log = self.log
+        if log is None:
+            raise self._fail("choice before a cycle began")
+        return seq[log.draw(len(seq))]
+
+    def random(self) -> float:
+        raise self._fail("random")
+
+    def randrange(self, *args: object, **kwargs: object) -> int:
+        raise self._fail("randrange")
+
+    def randint(self, a: int, b: int) -> int:
+        raise self._fail("randint")
+
+    def shuffle(self, x: object) -> None:  # type: ignore[override]
+        raise self._fail("shuffle")
+
+    def sample(self, *args: object, **kwargs: object) -> List[T]:
+        raise self._fail("sample")
+
+
+def next_vector(vector: Sequence[int], domains: Sequence[int]) -> Optional[List[int]]:
+    """The next choice vector in the cycle's enumeration, or ``None``.
+
+    ``vector`` is the script just replayed (conceptually zero-padded to
+    ``len(domains)``); ``domains`` are the domain sizes that replay
+    recorded.  Odometer order: increment the rightmost position that is
+    not exhausted, drop everything after it (later domains may change).
+    """
+    padded = list(vector[: len(domains)])
+    padded.extend(0 for _ in range(len(domains) - len(padded)))
+    for i in range(len(domains) - 1, -1, -1):
+        if padded[i] + 1 < domains[i]:
+            return padded[: i] + [padded[i] + 1]
+    return None

@@ -1,0 +1,99 @@
+"""Static deadlock-existence oracle: channel-dependency cycle check.
+
+Mendlovic & Matias (PAPERS.md) give an existence condition for
+deadlock-free routing on arbitrary networks in terms of the routing
+relation's resource dependencies.  This module applies the classic
+channel-dependency form of that condition to a verification scenario:
+build the directed graph whose vertices are physical channels and whose
+edges connect each channel a scripted message can *hold* to each channel
+its header may *request next* under the configured routing function, and
+test it for cycles.
+
+An **acyclic** dependency graph proves no wait-graph cycle — and hence
+no true deadlock — is reachable for this workload, independent of the
+enumeration: it is the checker's second opinion.  A cyclic graph proves
+nothing by itself (adaptive OR-routing may always escape); the
+enumeration decides.  The checker cross-validates the two: a reachable
+oracle knot in a statically-acyclic scenario is reported as an internal
+contradiction, failing the run loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.network.config import SimulationConfig
+from repro.network.routing import make_routing_function
+from repro.verify.scenario import VerifyCase, VerifyScenario
+
+
+def dependency_edges(
+    scenario: VerifyScenario, config: SimulationConfig
+) -> Set[Tuple[int, int]]:
+    """Channel-index dependency edges induced by the scripted workload."""
+    from repro.network.simulator import Simulator
+
+    sim = Simulator(config)
+    topology = sim.topology
+    routing = make_routing_function(config.routing)
+    edges: Set[Tuple[int, int]] = set()
+    for spec in scenario.messages:
+        injection = sim.routers[spec.source].injection_pcs[0]
+        # (node, holding channel index) pairs the worm's header can be at.
+        frontier: List[Tuple[int, int]] = [(spec.source, injection.index)]
+        seen: Set[Tuple[int, int]] = set(frontier)
+        while frontier:
+            node, held = frontier.pop()
+            router = sim.routers[node]
+            if node == spec.dest:
+                for pc in router.ejection_pcs:
+                    edges.add((held, pc.index))
+                continue
+            for direction in routing.candidates(topology, node, spec.dest):
+                out = router.output_pcs[direction]
+                edges.add((held, out.index))
+                downstream = out.dst_node
+                if downstream is None:
+                    continue
+                nxt = (downstream, out.index)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+    return edges
+
+
+def has_dependency_cycle(edges: Set[Tuple[int, int]]) -> bool:
+    """Iterative three-colour DFS cycle test over the edge set."""
+    adjacency: Dict[int, List[int]] = {}
+    for src, dst in sorted(edges):
+        adjacency.setdefault(src, []).append(dst)
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[int, int] = {}
+    for root in sorted(adjacency):
+        if colour.get(root, WHITE) is not WHITE:
+            continue
+        stack: List[Tuple[int, int]] = [(root, 0)]
+        colour[root] = GREY
+        while stack:
+            node, child_index = stack[-1]
+            children = adjacency.get(node, [])
+            if child_index >= len(children):
+                stack.pop()
+                colour[node] = BLACK
+                continue
+            stack[-1] = (node, child_index + 1)
+            child = children[child_index]
+            state = colour.get(child, WHITE)
+            if state == GREY:
+                return True
+            if state == WHITE:
+                colour[child] = GREY
+                stack.append((child, 0))
+    return False
+
+
+def statically_deadlock_free(case: VerifyCase) -> bool:
+    """True when the dependency condition alone rules out deadlock."""
+    config = case.build_config()
+    edges = dependency_edges(case.scenario, config)
+    return not has_dependency_cycle(edges)

@@ -1,11 +1,33 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and hypothesis profiles for the test suite."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.network.config import SimulationConfig
 from repro.network.simulator import Simulator
+
+# Property-test effort is profile-switched via HYPOTHESIS_PROFILE:
+# "dev" (default) keeps the suite fast for local iteration; "ci" runs
+# more examples and derandomizes so CI failures are reproducible runs,
+# not luck of the per-run seed.
+settings.register_profile(
+    "ci",
+    max_examples=200,
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def small_config(**overrides) -> SimulationConfig:
